@@ -1,0 +1,273 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//
+//  A1  Delay regression vs. direct per-clock error classification —
+//      the paper's central flexibility argument (Sec. III): one delay
+//      model serves all clock speeds; a direct classifier must be
+//      retrained per clock but may edge it out at its single clock.
+//  A2  History features — accuracy and delay-regression R^2 with and
+//      without x[t-1] (model-level view of the TEVoT-NH gap).
+//  A3  Forest size — accuracy vs. number of trees (the paper uses the
+//      sklearn default of 10).
+//  A4  Adder architecture — ripple-carry vs. Kogge-Stone dynamic-
+//      delay distributions: the long-tailed ripple spectrum is what
+//      makes "critical path rarely sensitized" true for INT ADD.
+//  A5  ITD model — with the temperature-dependent threshold voltage
+//      removed, the Fig. 3 temperature crossover disappears.
+//  A6  Feature importance — the forest's impurity-decrease ranking,
+//      backing the paper's RF-interpretability argument: operating-
+//      condition features and high-significance operand/toggle bits
+//      dominate.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "circuits/int_add.hpp"
+#include "circuits/int_mul.hpp"
+#include "ml/metrics.hpp"
+
+namespace {
+
+using namespace tevot;
+using namespace tevot::bench;
+
+void ablationRegressionVsClassification(const BenchScale& scale) {
+  std::printf("A1: delay regression vs direct classification (INT MUL)\n");
+  const circuits::FuKind kind = circuits::FuKind::kIntMul;
+  util::Rng rng(0xab1a);
+  core::FuContext context(kind);
+  std::vector<dta::DtaTrace> train, test;
+  for (const liberty::Corner& corner : scale.corners) {
+    train.push_back(context.characterize(
+        corner,
+        dta::randomWorkloadFor(kind, scale.train_cycles_per_corner, rng)));
+    test.push_back(context.characterize(
+        corner,
+        dta::randomWorkloadFor(kind, scale.test_cycles_per_corner, rng)));
+  }
+
+  // One delay model, evaluated at all three clocks.
+  core::TevotModel delay_model;
+  delay_model.train(train, rng);
+  core::TevotErrorModel delay_view(delay_model);
+
+  const core::FeatureEncoder encoder(true);
+  for (const double speedup : dta::kClockSpeedups) {
+    // Direct classifier, retrained for this clock.
+    auto clock_for = [&](const std::vector<dta::DtaTrace>& traces,
+                         const dta::DtaTrace& trace) {
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (&traces[i] == &trace) {
+          return dta::speedupClockPs(train[i].baseClockPs(), speedup);
+        }
+      }
+      return 0.0;
+    };
+    const ml::Dataset train_cls = core::buildErrorDataset(
+        train, encoder,
+        [&](const dta::DtaTrace& t) { return clock_for(train, t); });
+    ml::RandomForestClassifier classifier;
+    util::Rng cls_rng(3);
+    classifier.fit(train_cls, ml::ForestParams{}, cls_rng);
+
+    // Score both on the test traces.
+    std::size_t reg_ok = 0, cls_ok = 0, total = 0;
+    std::vector<float> row(encoder.featureCount());
+    for (std::size_t c = 0; c < test.size(); ++c) {
+      const double tclk =
+          dta::speedupClockPs(train[c].baseClockPs(), speedup);
+      for (const dta::DtaSample& sample : test[c].samples) {
+        const bool truth = sample.timingError(tclk);
+        const bool reg = delay_model.predictError(
+            sample.a, sample.b, sample.prev_a, sample.prev_b,
+            test[c].corner, tclk);
+        encoder.encodeSample(sample, test[c].corner, row);
+        const bool cls = classifier.predict(row) != 0.0f;
+        reg_ok += reg == truth;
+        cls_ok += cls == truth;
+        ++total;
+      }
+    }
+    std::printf(
+        "  speedup %2.0f%%: one delay model %s vs per-clock classifier "
+        "%s\n",
+        speedup * 100.0,
+        formatPercent(static_cast<double>(reg_ok) / total, 8).c_str(),
+        formatPercent(static_cast<double>(cls_ok) / total, 8).c_str());
+  }
+  std::printf("  (the delay model was trained ONCE; each classifier "
+              "column required a retrain)\n\n");
+}
+
+void ablationHistoryAndForestSize(const BenchScale& scale) {
+  // FP MUL on the sobel application stream: history matters most on
+  // correlated workloads whose statistics deviate from the random
+  // training bulk (on purely random data both variants match — see
+  // Table III's random_data column).
+  const circuits::FuKind kind = circuits::FuKind::kFpMul;
+  util::Rng rng(0xab1b);
+  core::FuContext context(kind);
+  const auto datasets = buildDatasets(kind, scale, rng);
+  std::vector<dta::DtaTrace> train, test;
+  std::vector<double> base_clocks;  // aligned with `test`
+  for (const liberty::Corner& corner : scale.corners) {
+    for (const DatasetStreams& dataset : datasets) {
+      train.push_back(context.characterize(corner, dataset.train));
+      if (dataset.name == "sobel_data") {
+        test.push_back(context.characterize(corner, dataset.test));
+        base_clocks.push_back(train.back().baseClockPs());
+      }
+    }
+  }
+  auto scoreModel = [&](const core::TevotModel& model, double& r2_out) {
+    std::vector<float> predicted, truth;
+    std::size_t matched = 0, total = 0;
+    for (std::size_t c = 0; c < test.size(); ++c) {
+      const double base = base_clocks[c];
+      for (const dta::DtaSample& sample : test[c].samples) {
+        predicted.push_back(static_cast<float>(
+            model.predictDelay(sample.a, sample.b, sample.prev_a,
+                               sample.prev_b, test[c].corner)));
+        truth.push_back(static_cast<float>(sample.delay_ps));
+        for (const double speedup : dta::kClockSpeedups) {
+          const double tclk = dta::speedupClockPs(base, speedup);
+          matched += (predicted.back() > tclk) == sample.timingError(tclk);
+          ++total;
+        }
+      }
+    }
+    r2_out = ml::r2Score(predicted, truth);
+    return static_cast<double>(matched) / static_cast<double>(total);
+  };
+
+  std::printf("A2: history features (FP MUL, sobel data)\n");
+  for (const bool history : {true, false}) {
+    core::TevotConfig config;
+    config.include_history = history;
+    core::TevotModel model(config);
+    util::Rng train_rng(5);
+    model.train(train, train_rng);
+    double r2 = 0.0;
+    const double accuracy = scoreModel(model, r2);
+    std::printf("  %-12s accuracy %s  delay R^2 %6.3f\n",
+                history ? "with x[t-1]" : "no history",
+                formatPercent(accuracy, 8).c_str(), r2);
+  }
+  std::printf("\nA3: forest size (FP MUL, sobel data)\n");
+  for (const int trees : {1, 5, 10, 20, 40}) {
+    core::TevotConfig config;
+    config.forest.n_trees = trees;
+    core::TevotModel model(config);
+    util::Rng train_rng(6);
+    model.train(train, train_rng);
+    double r2 = 0.0;
+    const double accuracy = scoreModel(model, r2);
+    std::printf("  %2d trees: accuracy %s  delay R^2 %6.3f\n", trees,
+                formatPercent(accuracy, 8).c_str(), r2);
+  }
+  std::printf("\n");
+}
+
+void ablationAdderArchitecture(const BenchScale& scale) {
+  std::printf("A4: datapath architecture delay spectra (0.90 V, 50 C)\n");
+  const liberty::Corner corner{0.90, 50.0};
+  const auto library = liberty::CellLibrary::defaultLibrary();
+  const liberty::VtModel vt;
+  auto report = [&](const char* label, const netlist::Netlist& nl) {
+    const auto delays = liberty::annotateCorner(nl, library, vt, corner);
+    util::Rng rng(0xab1c);
+    const auto workload = dta::randomWorkloadFor(
+        circuits::FuKind::kIntAdd, scale.train_cycles_per_corner, rng);
+    const auto trace = dta::characterize(nl, delays, workload);
+    const auto stats = trace.delayStats();
+    std::printf(
+        "  %-12s gates %5zu  mean %7.1f ps  max %7.1f ps  mean/max "
+        "%.2f  TER@15%%-speedup %s\n",
+        label, nl.gateCount(), stats.mean(), stats.max(),
+        stats.mean() / stats.max(),
+        formatPercent(trace.timingErrorRate(
+                          dta::speedupClockPs(stats.max(), 0.15)),
+                      8)
+            .c_str());
+  };
+  report("ripple",
+         circuits::buildIntAdd(32, circuits::AdderArch::kRipple));
+  report("carry-select",
+         circuits::buildIntAdd(32, circuits::AdderArch::kCarrySelect));
+  report("kogge-stone",
+         circuits::buildIntAdd(32, circuits::AdderArch::kKoggeStone));
+  report("mul array",
+         circuits::buildIntMul(32, circuits::MulArch::kCarrySaveArray));
+  report("mul booth",
+         circuits::buildIntMul(32, circuits::MulArch::kBooth));
+  std::printf("  (ripple: long thin tail -> critical path rarely "
+              "sensitized, as the paper assumes)\n\n");
+}
+
+void ablationItdModel() {
+  std::printf("A5: inverse temperature dependence ablation\n");
+  liberty::VtParams with_itd;       // default: dVth/dT < 0
+  liberty::VtParams without_itd = with_itd;
+  without_itd.dvth_dt = 0.0;        // threshold no longer tracks T
+  for (const auto& [label, params] :
+       {std::pair{"with ITD", with_itd}, {"no dVth/dT", without_itd}}) {
+    const liberty::VtModel model(params);
+    const double low_cold = model.scale(0.81, 0.0);
+    const double low_hot = model.scale(0.81, 100.0);
+    const double high_cold = model.scale(1.00, 0.0);
+    const double high_hot = model.scale(1.00, 100.0);
+    std::printf(
+        "  %-10s 0.81V: 0C %.3f -> 100C %.3f (%s)   1.00V: 0C %.3f -> "
+        "100C %.3f (slower)\n",
+        label, low_cold, low_hot,
+        low_hot < low_cold ? "FASTER: crossover exists" : "slower: no ITD",
+        high_cold, high_hot);
+  }
+}
+
+}  // namespace
+
+void ablationFeatureImportance(const BenchScale& scale) {
+  std::printf("\nA6: TEVoT feature importance (INT ADD, random data)\n");
+  const circuits::FuKind kind = circuits::FuKind::kIntAdd;
+  util::Rng rng(0xab1d);
+  core::FuContext context(kind);
+  std::vector<dta::DtaTrace> traces;
+  for (const liberty::Corner& corner : scale.corners) {
+    traces.push_back(context.characterize(
+        corner,
+        dta::randomWorkloadFor(kind, scale.train_cycles_per_corner, rng)));
+  }
+  core::TevotModel model;
+  model.train(traces, rng);
+  const std::vector<double> importance = model.featureImportance();
+  std::vector<std::size_t> order(importance.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return importance[a] > importance[b];
+  });
+  std::printf("  top 10 of %zu features by impurity decrease:\n",
+              importance.size());
+  for (int rank = 0; rank < 10; ++rank) {
+    const std::size_t f = order[static_cast<std::size_t>(rank)];
+    std::printf("    %2d. %-10s %6.2f%%\n", rank + 1,
+                model.encoder().featureName(f).c_str(),
+                100.0 * importance[f]);
+  }
+  double condition_share = 0.0;
+  condition_share += importance[importance.size() - 1];
+  condition_share += importance[importance.size() - 2];
+  std::printf("  operating-condition (V,T) share: %.1f%%\n",
+              100.0 * condition_share);
+}
+
+int main() {
+  const BenchScale scale = BenchScale::fromEnvironment();
+  std::printf("=== Ablation benches (DESIGN.md Sec. 5) ===\n\n");
+  ablationRegressionVsClassification(scale);
+  ablationHistoryAndForestSize(scale);
+  ablationAdderArchitecture(scale);
+  ablationItdModel();
+  ablationFeatureImportance(scale);
+  return 0;
+}

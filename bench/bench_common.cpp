@@ -1,0 +1,135 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace tevot::bench {
+
+BenchScale BenchScale::fromEnvironment() {
+  const bool full = util::fullScale();
+  BenchScale scale;
+  const auto grid = core::OperatingGrid::paper();
+  if (full) {
+    scale.corners = grid.corners();  // all 100 Table I conditions
+    scale.train_cycles_per_corner = 2000;
+    scale.test_cycles_per_corner = 2000;
+    scale.app_train_cycles = 1000;
+    scale.app_test_cycles = 2000;
+    scale.image_count = 12;
+    scale.image_size = 64;
+  } else {
+    scale.corners = grid.subsampled(3, 3);  // the Fig. 3 corner set
+    scale.train_cycles_per_corner = 1500;
+    scale.test_cycles_per_corner = 700;
+    scale.app_train_cycles = 700;
+    scale.app_test_cycles = 700;
+    scale.image_count = 6;
+    scale.image_size = 48;
+  }
+  const int nv = static_cast<int>(util::envInt("TEVOT_GRID_V", 0));
+  const int nt = static_cast<int>(util::envInt("TEVOT_GRID_T", 0));
+  if (nv > 0 && nt > 0) scale.corners = grid.subsampled(nv, nt);
+  scale.train_cycles_per_corner = static_cast<std::size_t>(util::envInt(
+      "TEVOT_TRAIN_CYCLES",
+      static_cast<long>(scale.train_cycles_per_corner)));
+  scale.test_cycles_per_corner = static_cast<std::size_t>(util::envInt(
+      "TEVOT_TEST_CYCLES", static_cast<long>(scale.test_cycles_per_corner)));
+  scale.app_train_cycles = static_cast<std::size_t>(util::envInt(
+      "TEVOT_APP_TRAIN_CYCLES", static_cast<long>(scale.app_train_cycles)));
+  scale.app_test_cycles = static_cast<std::size_t>(util::envInt(
+      "TEVOT_APP_TEST_CYCLES", static_cast<long>(scale.app_test_cycles)));
+  scale.image_count = static_cast<std::size_t>(util::envInt(
+      "TEVOT_IMAGES", static_cast<long>(scale.image_count)));
+  scale.image_size = static_cast<int>(util::envInt(
+      "TEVOT_IMAGE_SIZE", scale.image_size));
+  return scale;
+}
+
+std::vector<DatasetStreams> buildDatasets(circuits::FuKind kind,
+                                          const BenchScale& scale,
+                                          util::Rng& rng) {
+  std::vector<DatasetStreams> datasets;
+
+  DatasetStreams random_streams;
+  random_streams.name = "random_data";
+  random_streams.train = dta::randomWorkloadFor(
+      kind, scale.train_cycles_per_corner, rng, "random_data");
+  random_streams.test = dta::randomWorkloadFor(
+      kind, scale.test_cycles_per_corner, rng, "random_data");
+  datasets.push_back(std::move(random_streams));
+
+  // Application datasets: profile the filters over the synthetic
+  // image set. The paper trains on 5% of images and tests on the
+  // rest; we slice the profiled stream the same way (the train slice
+  // comes from the leading images, the test slice from the
+  // remainder).
+  apps::SynthImageParams image_params;
+  image_params.width = scale.image_size;
+  image_params.height = scale.image_size;
+  const std::vector<apps::Image> images =
+      apps::synthImageSet(scale.image_count, /*seed=*/0xbf1u, image_params);
+  const std::size_t train_images = std::max<std::size_t>(1, images.size() / 6);
+  const std::span<const apps::Image> train_span{images.data(), train_images};
+  const std::span<const apps::Image> test_span{
+      images.data() + train_images, images.size() - train_images};
+
+  for (const apps::AppKind app : apps::kAllApps) {
+    auto train_streams = apps::profileAppWorkloads(app, train_span);
+    auto test_streams = apps::profileAppWorkloads(app, test_span);
+    DatasetStreams streams;
+    streams.name = train_streams[kind].name;
+    streams.train =
+        dta::resizeWorkload(train_streams[kind], scale.app_train_cycles);
+    streams.test =
+        dta::resizeWorkload(test_streams[kind], scale.app_test_cycles);
+    datasets.push_back(std::move(streams));
+  }
+  return datasets;
+}
+
+std::vector<DatasetTraces> characterizeAll(
+    core::FuContext& context, const std::vector<DatasetStreams>& datasets,
+    const BenchScale& scale) {
+  std::vector<DatasetTraces> all;
+  all.reserve(datasets.size());
+  for (const DatasetStreams& dataset : datasets) {
+    DatasetTraces traces;
+    traces.name = dataset.name;
+    for (const liberty::Corner& corner : scale.corners) {
+      traces.train.push_back(context.characterize(corner, dataset.train));
+      traces.test.push_back(context.characterize(corner, dataset.test));
+    }
+    all.push_back(std::move(traces));
+  }
+  return all;
+}
+
+std::vector<dta::DtaTrace> pooledTrainingTraces(
+    const std::vector<DatasetTraces>& traces) {
+  std::vector<dta::DtaTrace> pooled;
+  for (const DatasetTraces& dataset : traces) {
+    pooled.insert(pooled.end(), dataset.train.begin(), dataset.train.end());
+  }
+  return pooled;
+}
+
+core::EvalOutcome evaluateDataset(core::ErrorModel& model,
+                                  const DatasetTraces& traces) {
+  std::vector<core::EvalOutcome> outcomes;
+  for (std::size_t c = 0; c < traces.test.size(); ++c) {
+    const double base_clock = traces.train[c].baseClockPs();
+    for (const double speedup : dta::kClockSpeedups) {
+      outcomes.push_back(core::evaluateOnTrace(
+          model, traces.test[c], dta::speedupClockPs(base_clock, speedup)));
+    }
+  }
+  return core::mergeOutcomes(outcomes);
+}
+
+std::string formatPercent(double fraction, int width) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%*.2f%%", width - 1,
+                fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace tevot::bench

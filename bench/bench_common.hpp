@@ -1,0 +1,85 @@
+// Shared experiment harness for the reproduction benches.
+//
+// Encapsulates the paper's experimental protocol (Sec. V-A):
+//  * per FU: a random training workload plus application workloads
+//    profiled from the image filters (training slice = the paper's
+//    "5% randomly-picked images", test slice = the rest);
+//  * TEVoT / TEVoT-NH trained and Delay-/TER-based calibrated on the
+//    *training* traces (random + training-slice app data);
+//  * per (condition, dataset): base clock = the dataset's fastest
+//    error-free clock (max dynamic delay of its training-side trace),
+//    evaluated at 5/10/15% speedups.
+//
+// Scales are reduced by default so the whole bench suite runs in
+// minutes; TEVOT_FULL=1 restores paper-sized sweeps, and the
+// TEVOT_* variables below override individual knobs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/profile.hpp"
+#include "apps/synth_images.hpp"
+#include "dta/dta.hpp"
+#include "tevot/evaluate.hpp"
+#include "tevot/operating_grid.hpp"
+#include "tevot/pipeline.hpp"
+#include "util/env.hpp"
+
+namespace tevot::bench {
+
+struct BenchScale {
+  std::vector<liberty::Corner> corners;  ///< evaluation conditions
+  std::size_t train_cycles_per_corner;   ///< random training ops/corner
+  std::size_t test_cycles_per_corner;    ///< random test ops/corner
+  std::size_t app_train_cycles;          ///< app training ops/corner
+  std::size_t app_test_cycles;           ///< app test ops/corner
+  std::size_t image_count;               ///< synthetic image set size
+  int image_size;                        ///< image width == height
+
+  /// Reads the default or TEVOT_FULL-scaled configuration.
+  static BenchScale fromEnvironment();
+};
+
+/// Named dataset: a training-side stream (defines base clocks and
+/// feeds model training) and a held-out test stream.
+struct DatasetStreams {
+  std::string name;
+  dta::Workload train;
+  dta::Workload test;
+};
+
+/// Builds the paper's three datasets for one FU: random_data,
+/// sobel_data, gauss_data.
+std::vector<DatasetStreams> buildDatasets(circuits::FuKind kind,
+                                          const BenchScale& scale,
+                                          util::Rng& rng);
+
+/// Characterized train/test traces for one dataset across corners.
+struct DatasetTraces {
+  std::string name;
+  std::vector<dta::DtaTrace> train;  ///< one per corner
+  std::vector<dta::DtaTrace> test;   ///< one per corner
+};
+
+/// Runs DTA for every dataset at every corner.
+std::vector<DatasetTraces> characterizeAll(
+    core::FuContext& context, const std::vector<DatasetStreams>& datasets,
+    const BenchScale& scale);
+
+/// Pools every dataset's training traces (the paper's random + 5%
+/// images training set).
+std::vector<dta::DtaTrace> pooledTrainingTraces(
+    const std::vector<DatasetTraces>& traces);
+
+/// Accuracy of one model on one dataset, averaged over all corners
+/// and the three clock speedups, with per-(corner,dataset) base
+/// clocks from the dataset's training trace.
+core::EvalOutcome evaluateDataset(core::ErrorModel& model,
+                                  const DatasetTraces& traces);
+
+/// Prints a right-aligned percentage cell.
+std::string formatPercent(double fraction, int width = 8);
+
+}  // namespace tevot::bench

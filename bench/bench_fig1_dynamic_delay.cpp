@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 1: the dynamic delay of a circuit depends on
+// which input transition occurs, not only on its static critical
+// path.
+//
+// The paper's toy circuit: x feeds a 1 ns gate, y a 0.5 ns gate, both
+// into a 1 ns output gate. Transition (a): x rises -> the sensitized
+// path is 1 + 1 = 2 ns. Transition (b): y rises while the x-side
+// output is already set -> the sensitized path is 0.5 + 1 = 1.5 ns.
+// We rebuild the circuit with explicit per-gate delays and show the
+// event-driven simulator reporting exactly those two dynamic delays,
+// plus the same experiment on the real INT ADD where the delay
+// spectrum is input-dependent and the static critical path (STA) is
+// rarely sensitized.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tevot;
+using namespace tevot::bench;
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1: input-dependent dynamic delay ===\n\n");
+
+  // Toy circuit: buf_x (1000 ps) and buf_y (500 ps) feeding an XOR
+  // (1000 ps), so both transitions of the paper's figure toggle the
+  // output through different-length sensitized paths.
+  netlist::Netlist nl("fig1");
+  const auto x = nl.addInput("x");
+  const auto y = nl.addInput("y");
+  const auto bx = nl.addGate1(netlist::CellKind::kBuf, x, "bx");
+  const auto by = nl.addGate1(netlist::CellKind::kBuf, y, "by");
+  const auto out = nl.addGate2(netlist::CellKind::kXor2, bx, by, "o");
+  nl.markOutput(out, "o");
+
+  liberty::CornerDelays delays;
+  delays.corner = {1.0, 25.0};
+  delays.rise_ps = {1000.0, 500.0, 1000.0};  // bx, by, or2
+  delays.fall_ps = {1000.0, 500.0, 1000.0};
+
+  sim::TimingSimulator simulator(nl, delays);
+  const std::uint8_t init[2] = {0, 0};
+  simulator.reset({init, 2});
+
+  const std::uint8_t first[2] = {1, 0};   // x: 0 -> 1
+  const auto rec_a = simulator.step({first, 2});
+  std::printf("  (b) first input x rises : dynamic delay = %.1f ns "
+              "(paper: 2 ns)\n",
+              rec_a.dynamic_delay_ps / 1000.0);
+
+  const std::uint8_t second[2] = {1, 1};  // y: 0 -> 1, output 1 -> 0
+  const auto rec_b = simulator.step({second, 2});
+  std::printf("  (c) second input y rises: dynamic delay = %.1f ns "
+              "(paper: 1.5 ns)\n",
+              rec_b.dynamic_delay_ps / 1000.0);
+
+  // The same phenomenon on the real INT ADD FU.
+  std::printf("\nINT ADD at (0.90 V, 50 C): dynamic delay spectrum vs. "
+              "static critical path\n");
+  core::FuContext context(circuits::FuKind::kIntAdd);
+  const liberty::Corner corner{0.90, 50.0};
+  util::Rng rng(0xf161);
+  const auto workload =
+      dta::randomWorkloadFor(circuits::FuKind::kIntAdd, 2000, rng);
+  const auto trace = context.characterize(corner, workload);
+  const auto stats = trace.delayStats();
+  const double sta_delay = context.staCriticalPathPs(corner);
+  std::printf("  STA critical path : %8.1f ps\n", sta_delay);
+  std::printf("  dynamic delay     : mean %.1f ps, max %.1f ps, "
+              "stddev %.1f ps over %zu cycles\n",
+              stats.mean(), stats.max(), stats.stddev(), stats.count());
+  std::printf("  max observed / STA: %.2f (the critical path is rarely "
+              "sensitized)\n",
+              stats.max() / sta_delay);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 3: average dynamic delay of each FU under 9
+// operating conditions (V in {0.81, 0.90, 1.00} x T in {0, 50, 100})
+// and 3 datasets (random / sobel / gauss).
+//
+// Expected shape: delay decreases as voltage rises; the temperature
+// effect flips sign across the voltage range (inverse temperature
+// dependence — hotter is faster at 0.81 V, slower at 1.00 V); random
+// data sensitizes markedly longer delays than the application data,
+// most visibly on INT ADD.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tevot;
+using namespace tevot::bench;
+
+}  // namespace
+
+int main() {
+  BenchScale scale = BenchScale::fromEnvironment();
+  // Fig. 3 uses the fixed 3x3 condition subset regardless of scale.
+  scale.corners = core::OperatingGrid::paper().subsampled(3, 3);
+
+  std::printf("=== Fig. 3: average dynamic delay (ps) ===\n");
+  std::printf("columns: (V, T) pairs; rows: dataset\n\n");
+
+  util::Rng rng(0xf193);
+  for (const circuits::FuKind kind : circuits::kAllFus) {
+    core::FuContext context(kind);
+    const auto datasets = buildDatasets(kind, scale, rng);
+
+    std::printf("%s (gates=%zu, depth=%d)\n",
+                std::string(circuits::fuName(kind)).c_str(),
+                context.netlist().gateCount(), context.netlist().depth());
+    std::printf("  %-12s", "dataset");
+    for (const liberty::Corner& corner : scale.corners) {
+      std::printf(" (%.2f,%3.0f)", corner.voltage, corner.temperature);
+    }
+    std::printf("\n");
+    for (const DatasetStreams& dataset : datasets) {
+      std::printf("  %-12s", dataset.name.c_str());
+      for (const liberty::Corner& corner : scale.corners) {
+        const dta::DtaTrace trace =
+            context.characterize(corner, dataset.test);
+        std::printf(" %10.1f", trace.meanDelayPs());
+      }
+      std::printf("\n");
+    }
+
+    // ITD check at the extremes (averaged over the random dataset).
+    const double cold_low =
+        context.characterize({0.81, 0.0}, datasets[0].test).meanDelayPs();
+    const double hot_low =
+        context.characterize({0.81, 100.0}, datasets[0].test).meanDelayPs();
+    const double cold_high =
+        context.characterize({1.00, 0.0}, datasets[0].test).meanDelayPs();
+    const double hot_high =
+        context.characterize({1.00, 100.0}, datasets[0].test).meanDelayPs();
+    std::printf(
+        "  ITD: at 0.81V hotter is %s (%.1f -> %.1f), at 1.00V hotter is "
+        "%s (%.1f -> %.1f)\n\n",
+        hot_low < cold_low ? "FASTER" : "slower", cold_low, hot_low,
+        hot_high > cold_high ? "SLOWER" : "faster", cold_high, hot_high);
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Reproduces the paper Sec. V-C claim that TEVoT inference is ~100x
+// faster than back-annotated gate-level simulation, and that the gap
+// widens with circuit complexity (the model's cost is a fixed set of
+// decision rules; the simulator's cost scales with gate count).
+//
+// Google-benchmark microbenchmarks: per FU, the cost of one simulated
+// cycle vs. one TEVoT delay prediction. A summary table with the
+// measured speedup factors is printed after the benchmark run.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tevot;
+using namespace tevot::bench;
+
+constexpr liberty::Corner kCorner{0.90, 50.0};
+
+/// Trained model + simulator bundle per FU, built once.
+struct FuBundle {
+  std::unique_ptr<core::FuContext> context;
+  core::TevotModel model;
+  dta::Workload workload;
+};
+
+FuBundle& bundleFor(circuits::FuKind kind) {
+  static std::map<circuits::FuKind, FuBundle> bundles;
+  auto it = bundles.find(kind);
+  if (it != bundles.end()) return it->second;
+
+  FuBundle bundle;
+  bundle.context = std::make_unique<core::FuContext>(kind);
+  util::Rng rng(0x5eed + static_cast<unsigned>(kind));
+  const auto train_wl = dta::randomWorkloadFor(kind, 800, rng);
+  std::vector<dta::DtaTrace> traces;
+  traces.push_back(bundle.context->characterize(kCorner, train_wl));
+  bundle.model = core::TevotModel();
+  bundle.model.train(traces, rng);
+  bundle.workload = dta::randomWorkloadFor(kind, 4096, rng);
+  return bundles.emplace(kind, std::move(bundle)).first->second;
+}
+
+void BM_GateLevelSimCycle(benchmark::State& state) {
+  const auto kind = static_cast<circuits::FuKind>(state.range(0));
+  FuBundle& bundle = bundleFor(kind);
+  sim::TimingSimulator simulator(bundle.context->netlist(),
+                                 bundle.context->delaysAt(kCorner));
+  std::vector<std::uint8_t> bits(64);
+  circuits::encodeOperandsInto(bundle.workload.ops[0].a,
+                               bundle.workload.ops[0].b, bits);
+  simulator.reset(bits);
+  std::size_t at = 1;
+  for (auto _ : state) {
+    const auto& op = bundle.workload.ops[at];
+    circuits::encodeOperandsInto(op.a, op.b, bits);
+    benchmark::DoNotOptimize(simulator.step(bits).dynamic_delay_ps);
+    at = (at + 1) % bundle.workload.ops.size();
+  }
+  state.SetLabel(std::string(circuits::fuName(kind)));
+}
+
+void BM_TevotPredictCycle(benchmark::State& state) {
+  const auto kind = static_cast<circuits::FuKind>(state.range(0));
+  FuBundle& bundle = bundleFor(kind);
+  std::size_t at = 1;
+  for (auto _ : state) {
+    const auto& op = bundle.workload.ops[at];
+    const auto& prev = bundle.workload.ops[at - 1];
+    benchmark::DoNotOptimize(
+        bundle.model.predictDelay(op.a, op.b, prev.a, prev.b, kCorner));
+    at = at + 1 < bundle.workload.ops.size() ? at + 1 : 1;
+  }
+  state.SetLabel(std::string(circuits::fuName(kind)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_GateLevelSimCycle)->DenseRange(0, 3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_TevotPredictCycle)->DenseRange(0, 3)->Unit(
+    benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Summary: measured speedup factors per FU.
+  std::printf("\n=== TEVoT inference speedup over gate-level simulation "
+              "===\n");
+  std::printf("  %-8s %14s %14s %10s\n", "FU", "sim us/cycle",
+              "model us/cycle", "speedup");
+  for (const circuits::FuKind kind : circuits::kAllFus) {
+    FuBundle& bundle = bundleFor(kind);
+    sim::TimingSimulator simulator(bundle.context->netlist(),
+                                   bundle.context->delaysAt(kCorner));
+    std::vector<std::uint8_t> bits(64);
+    circuits::encodeOperandsInto(bundle.workload.ops[0].a,
+                                 bundle.workload.ops[0].b, bits);
+    simulator.reset(bits);
+    using Clock = std::chrono::steady_clock;
+    const std::size_t n = bundle.workload.ops.size() - 1;
+
+    auto t0 = Clock::now();
+    double checksum = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      const auto& op = bundle.workload.ops[i];
+      circuits::encodeOperandsInto(op.a, op.b, bits);
+      checksum += simulator.step(bits).dynamic_delay_ps;
+    }
+    const double sim_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0)
+            .count() /
+        static_cast<double>(n);
+
+    t0 = Clock::now();
+    for (std::size_t i = 1; i <= n; ++i) {
+      const auto& op = bundle.workload.ops[i];
+      const auto& prev = bundle.workload.ops[i - 1];
+      checksum +=
+          bundle.model.predictDelay(op.a, op.b, prev.a, prev.b, kCorner);
+    }
+    const double model_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0)
+            .count() /
+        static_cast<double>(n);
+    benchmark::DoNotOptimize(checksum);
+
+    std::printf("  %-8s %14.3f %14.3f %9.1fx\n",
+                std::string(circuits::fuName(kind)).c_str(), sim_us,
+                model_us, sim_us / model_us);
+  }
+  std::printf("paper: ~100x on average, growing with circuit size.\n");
+  return 0;
+}

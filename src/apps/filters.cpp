@@ -1,0 +1,138 @@
+#include "apps/filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tevot::apps {
+namespace {
+
+constexpr int kSobelX[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+constexpr int kSobelY[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+constexpr int kGauss5[5] = {1, 4, 6, 4, 1};
+
+std::uint8_t clampToByte(double value) {
+  return static_cast<std::uint8_t>(
+      std::clamp(static_cast<int>(std::lround(value)), 0, 255));
+}
+
+std::uint8_t clampToByte(std::int64_t value) {
+  return static_cast<std::uint8_t>(
+      std::clamp<std::int64_t>(value, 0, 255));
+}
+
+}  // namespace
+
+Image sobelFilter(const Image& input, FuExecutor& executor,
+                  NumericMode mode) {
+  Image output(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      if (mode == NumericMode::kInteger) {
+        // Positive- and negative-coefficient taps are accumulated
+        // separately (the usual integer Sobel formulation): all FU
+        // operands stay small and non-negative, so the adder sees
+        // short, realistic carry chains instead of full-width
+        // sign-extension borrows on every sample.
+        std::int32_t gx_pos = 0, gx_neg = 0, gy_pos = 0, gy_neg = 0;
+        for (int ky = -1; ky <= 1; ++ky) {
+          for (int kx = -1; kx <= 1; ++kx) {
+            const auto pixel = static_cast<std::int32_t>(
+                input.atClamped(x + kx, y + ky));
+            const int cx = kSobelX[ky + 1][kx + 1];
+            const int cy = kSobelY[ky + 1][kx + 1];
+            if (cx > 0) {
+              gx_pos = executor.addI(gx_pos, executor.mulI(pixel, cx));
+            } else if (cx < 0) {
+              gx_neg = executor.addI(gx_neg, executor.mulI(pixel, -cx));
+            }
+            if (cy > 0) {
+              gy_pos = executor.addI(gy_pos, executor.mulI(pixel, cy));
+            } else if (cy < 0) {
+              gy_neg = executor.addI(gy_neg, executor.mulI(pixel, -cy));
+            }
+          }
+        }
+        // The gradient differences map to the subtract path; the
+        // magnitude sum goes through the adder FU again.
+        const std::int32_t abs_gx = std::abs(gx_pos - gx_neg);
+        const std::int32_t abs_gy = std::abs(gy_pos - gy_neg);
+        const std::int32_t mag = executor.addI(abs_gx, abs_gy);
+        output.set(x, y, clampToByte(static_cast<std::int64_t>(mag)));
+      } else {
+        float gx = 0.0f, gy = 0.0f;
+        for (int ky = -1; ky <= 1; ++ky) {
+          for (int kx = -1; kx <= 1; ++kx) {
+            const auto pixel =
+                static_cast<float>(input.atClamped(x + kx, y + ky));
+            const int cx = kSobelX[ky + 1][kx + 1];
+            const int cy = kSobelY[ky + 1][kx + 1];
+            if (cx != 0) {
+              gx = executor.addF(
+                  gx, executor.mulF(pixel, static_cast<float>(cx)));
+            }
+            if (cy != 0) {
+              gy = executor.addF(
+                  gy, executor.mulF(pixel, static_cast<float>(cy)));
+            }
+          }
+        }
+        const float mag = executor.addF(std::fabs(gx), std::fabs(gy));
+        output.set(x, y, std::isfinite(mag)
+                             ? clampToByte(static_cast<double>(mag))
+                             : 255);
+      }
+    }
+  }
+  return output;
+}
+
+Image gaussianFilter(const Image& input, FuExecutor& executor,
+                     NumericMode mode) {
+  Image output(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      if (mode == NumericMode::kInteger) {
+        std::int32_t acc = 0;
+        for (int ky = -2; ky <= 2; ++ky) {
+          for (int kx = -2; kx <= 2; ++kx) {
+            const auto pixel = static_cast<std::int32_t>(
+                input.atClamped(x + kx, y + ky));
+            const std::int32_t coefficient =
+                kGauss5[ky + 2] * kGauss5[kx + 2];
+            acc = executor.addI(acc, executor.mulI(pixel, coefficient));
+          }
+        }
+        // Normalization by 256 is a shift, not an FU operation.
+        output.set(x, y, clampToByte(static_cast<std::int64_t>(acc) >> 8));
+      } else {
+        float acc = 0.0f;
+        for (int ky = -2; ky <= 2; ++ky) {
+          for (int kx = -2; kx <= 2; ++kx) {
+            const auto pixel =
+                static_cast<float>(input.atClamped(x + kx, y + ky));
+            const float coefficient =
+                static_cast<float>(kGauss5[ky + 2] * kGauss5[kx + 2]) /
+                256.0f;
+            acc = executor.addF(acc, executor.mulF(pixel, coefficient));
+          }
+        }
+        output.set(x, y, std::isfinite(acc)
+                             ? clampToByte(static_cast<double>(acc))
+                             : 255);
+      }
+    }
+  }
+  return output;
+}
+
+Image sobelReference(const Image& input, NumericMode mode) {
+  ExactExecutor exact;
+  return sobelFilter(input, exact, mode);
+}
+
+Image gaussianReference(const Image& input, NumericMode mode) {
+  ExactExecutor exact;
+  return gaussianFilter(input, exact, mode);
+}
+
+}  // namespace tevot::apps

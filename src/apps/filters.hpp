@@ -1,0 +1,34 @@
+// Sobel and Gaussian image filters over instrumented FU execution.
+//
+// These are the two AMD APP SDK applications the paper evaluates. The
+// kernels perform every multiply and accumulate through a FuExecutor,
+// in one of two numeric modes: kFloat routes through the FP ADD /
+// FP MUL units (matching the paper's OpenCL float kernels) and
+// kInteger through INT ADD / INT MUL — so profiling one image run
+// yields application operand streams for all four FUs across the two
+// modes. Non-arithmetic glue (absolute value, clamping, the final
+// rounding) happens host-side, as it would in load/store/compare
+// instructions rather than the modeled FUs.
+#pragma once
+
+#include "apps/executor.hpp"
+#include "apps/image.hpp"
+
+namespace tevot::apps {
+
+enum class NumericMode { kInteger, kFloat };
+
+/// 3x3 Sobel edge detector: |Gx| + |Gy|, clamped to [0, 255].
+Image sobelFilter(const Image& input, FuExecutor& executor,
+                  NumericMode mode);
+
+/// 5x5 Gaussian blur (binomial kernel [1 4 6 4 1] outer product,
+/// normalized by 256).
+Image gaussianFilter(const Image& input, FuExecutor& executor,
+                     NumericMode mode);
+
+/// Convenience: error-free reference output.
+Image sobelReference(const Image& input, NumericMode mode);
+Image gaussianReference(const Image& input, NumericMode mode);
+
+}  // namespace tevot::apps

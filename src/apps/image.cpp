@@ -1,0 +1,65 @@
+#include "apps/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace tevot::apps {
+
+std::uint8_t Image::atClamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+void writePgm(const std::string& path, const Image& image) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("writePgm: cannot open " + path);
+  os << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.pixels().data()),
+           static_cast<std::streamsize>(image.pixelCount()));
+}
+
+Image readPgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("readPgm: cannot open " + path);
+  std::string magic;
+  int width = 0, height = 0, maxval = 0;
+  is >> magic >> width >> height >> maxval;
+  if (magic != "P5" || width <= 0 || height <= 0 || maxval != 255) {
+    throw std::runtime_error("readPgm: unsupported PGM header in " + path);
+  }
+  is.get();  // single whitespace after header
+  Image image(width, height);
+  is.read(reinterpret_cast<char*>(image.pixels().data()),
+          static_cast<std::streamsize>(image.pixelCount()));
+  if (static_cast<std::size_t>(is.gcount()) != image.pixelCount()) {
+    throw std::runtime_error("readPgm: truncated pixel data in " + path);
+  }
+  return image;
+}
+
+double psnrDb(const Image& reference, const Image& candidate) {
+  if (reference.width() != candidate.width() ||
+      reference.height() != candidate.height() ||
+      reference.pixelCount() == 0) {
+    throw std::invalid_argument("psnrDb: image shape mismatch");
+  }
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < reference.pixelCount(); ++i) {
+    const double diff = static_cast<double>(reference.pixels()[i]) -
+                        static_cast<double>(candidate.pixels()[i]);
+    sum_sq += diff * diff;
+  }
+  if (sum_sq == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse = sum_sq / static_cast<double>(reference.pixelCount());
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+bool isAcceptable(const Image& reference, const Image& candidate) {
+  return psnrDb(reference, candidate) >= kAcceptablePsnrDb;
+}
+
+}  // namespace tevot::apps

@@ -1,0 +1,45 @@
+#include "apps/profile.hpp"
+
+#include <stdexcept>
+
+namespace tevot::apps {
+
+std::string_view appName(AppKind app) {
+  switch (app) {
+    case AppKind::kSobel:
+      return "Sobel";
+    case AppKind::kGauss:
+      return "Gauss";
+  }
+  throw std::invalid_argument("appName: bad app");
+}
+
+Image runApp(AppKind app, const Image& input, FuExecutor& executor,
+             NumericMode mode) {
+  switch (app) {
+    case AppKind::kSobel:
+      return sobelFilter(input, executor, mode);
+    case AppKind::kGauss:
+      return gaussianFilter(input, executor, mode);
+  }
+  throw std::invalid_argument("runApp: bad app");
+}
+
+std::map<circuits::FuKind, dta::Workload> profileAppWorkloads(
+    AppKind app, std::span<const Image> images) {
+  ExactExecutor exact;
+  ProfilingExecutor profiler(exact);
+  for (const Image& image : images) {
+    runApp(app, image, profiler, NumericMode::kInteger);
+    runApp(app, image, profiler, NumericMode::kFloat);
+  }
+  const std::string name =
+      app == AppKind::kSobel ? "sobel_data" : "gauss_data";
+  std::map<circuits::FuKind, dta::Workload> workloads;
+  for (const circuits::FuKind kind : circuits::kAllFus) {
+    workloads[kind] = profiler.workload(kind, name);
+  }
+  return workloads;
+}
+
+}  // namespace tevot::apps

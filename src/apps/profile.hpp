@@ -1,0 +1,34 @@
+// Application profiling: turning filter runs into per-FU workloads.
+//
+// The paper profiles the Sobel and Gaussian applications with a
+// customized Multi2Sim to obtain the sobel_data / gauss_data operand
+// streams per functional unit; profileAppWorkloads() is this repo's
+// equivalent, running each filter over an image set in both numeric
+// modes so all four FUs receive an application stream.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "apps/filters.hpp"
+#include "dta/workload.hpp"
+
+namespace tevot::apps {
+
+enum class AppKind { kSobel, kGauss };
+
+inline constexpr AppKind kAllApps[] = {AppKind::kSobel, AppKind::kGauss};
+
+std::string_view appName(AppKind app);
+
+/// Runs one application on one image through the given executor.
+Image runApp(AppKind app, const Image& input, FuExecutor& executor,
+             NumericMode mode);
+
+/// Profiles `images` through the app in integer and float modes;
+/// returns the operand stream each FU saw. Workload names follow the
+/// paper ("sobel_data" / "gauss_data").
+std::map<circuits::FuKind, dta::Workload> profileAppWorkloads(
+    AppKind app, std::span<const Image> images);
+
+}  // namespace tevot::apps

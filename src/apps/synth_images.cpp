@@ -1,0 +1,115 @@
+#include "apps/synth_images.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace tevot::apps {
+namespace {
+
+/// Deterministic lattice hash -> [0, 1).
+double latticeNoise(std::uint64_t seed, int x, int y) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) *
+       0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) *
+       0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+/// Bilinear value noise at one frequency.
+double valueNoise(std::uint64_t seed, double x, double y) {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const double tx = smoothstep(x - x0);
+  const double ty = smoothstep(y - y0);
+  const double v00 = latticeNoise(seed, x0, y0);
+  const double v10 = latticeNoise(seed, x0 + 1, y0);
+  const double v01 = latticeNoise(seed, x0, y0 + 1);
+  const double v11 = latticeNoise(seed, x0 + 1, y0 + 1);
+  const double top = v00 + (v10 - v00) * tx;
+  const double bottom = v01 + (v11 - v01) * tx;
+  return top + (bottom - top) * ty;
+}
+
+}  // namespace
+
+Image synthImage(std::uint64_t seed, const SynthImageParams& params) {
+  util::Rng rng(seed);
+  Image image(params.width, params.height);
+
+  // Illumination gradient direction and noise seeds.
+  const double angle = rng.nextDouble(0.0, 2.0 * std::numbers::pi);
+  const double gx = std::cos(angle);
+  const double gy = std::sin(angle);
+  const std::uint64_t noise_seed = rng.next();
+
+  struct Figure {
+    double cx, cy, rx, ry, angle, level;
+  };
+  std::vector<Figure> figures;
+  for (int f = 0; f < params.figure_count; ++f) {
+    figures.push_back(Figure{
+        rng.nextDouble(0.2, 0.8) * params.width,
+        rng.nextDouble(0.2, 0.8) * params.height,
+        rng.nextDouble(0.08, 0.30) * params.width,
+        rng.nextDouble(0.08, 0.30) * params.height,
+        rng.nextDouble(0.0, std::numbers::pi),
+        rng.nextDouble(0.0, 1.0),
+    });
+  }
+
+  for (int y = 0; y < params.height; ++y) {
+    for (int x = 0; x < params.width; ++x) {
+      const double u = static_cast<double>(x) / params.width;
+      const double v = static_cast<double>(y) / params.height;
+      // Base: gradient + fractal value noise.
+      double value = 0.45 + 0.25 * (gx * (u - 0.5) + gy * (v - 0.5));
+      double amplitude = 0.30;
+      double frequency = 4.0;
+      for (int octave = 0; octave < params.noise_octaves; ++octave) {
+        value += amplitude *
+                 (valueNoise(noise_seed + static_cast<std::uint64_t>(octave),
+                             u * frequency, v * frequency) -
+                  0.5);
+        amplitude *= 0.5;
+        frequency *= 2.0;
+      }
+      // High-contrast elliptic figures with crisp edges (these give
+      // the filters real gradients to find).
+      for (const Figure& figure : figures) {
+        const double dx = x - figure.cx;
+        const double dy = y - figure.cy;
+        const double ca = std::cos(figure.angle);
+        const double sa = std::sin(figure.angle);
+        const double ex = (ca * dx + sa * dy) / figure.rx;
+        const double ey = (-sa * dx + ca * dy) / figure.ry;
+        if (ex * ex + ey * ey <= 1.0) {
+          value = 0.25 * value + 0.75 * figure.level;
+        }
+      }
+      const int level = static_cast<int>(std::lround(value * 255.0));
+      image.set(x, y,
+                static_cast<std::uint8_t>(std::clamp(level, 0, 255)));
+    }
+  }
+  return image;
+}
+
+std::vector<Image> synthImageSet(std::size_t count, std::uint64_t seed,
+                                 const SynthImageParams& params) {
+  std::vector<Image> images;
+  images.reserve(count);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    images.push_back(synthImage(rng.next(), params));
+  }
+  return images;
+}
+
+}  // namespace tevot::apps

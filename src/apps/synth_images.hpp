@@ -1,0 +1,34 @@
+// Procedural test-image generator.
+//
+// Stands in for the Caltech-101 butterfly images the paper profiles
+// (the dataset is not redistributable here). The generator layers
+// smooth value-noise octaves, an illumination gradient, and elliptic
+// high-contrast figures ("wings") over the background, reproducing
+// the natural-image statistics that matter for the experiments:
+// pixel values are spatially correlated and byte-ranged, so profiled
+// FU operands occupy a far smaller region of the input space than
+// uniform random data — the workload-variation effect of Fig. 3.
+#pragma once
+
+#include <vector>
+
+#include "apps/image.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::apps {
+
+struct SynthImageParams {
+  int width = 48;
+  int height = 48;
+  int noise_octaves = 3;
+  int figure_count = 3;  ///< elliptic shapes per image
+};
+
+/// One deterministic synthetic image for a seed.
+Image synthImage(std::uint64_t seed, const SynthImageParams& params = {});
+
+/// A deterministic dataset of `count` images.
+std::vector<Image> synthImageSet(std::size_t count, std::uint64_t seed,
+                                 const SynthImageParams& params = {});
+
+}  // namespace tevot::apps

@@ -1,0 +1,294 @@
+#include "circuits/components.hpp"
+
+#include <stdexcept>
+
+namespace tevot::circuits {
+
+using netlist::CellKind;
+
+SumCarry halfAdder(Netlist& nl, NetId a, NetId b) {
+  return SumCarry{nl.addGate2(CellKind::kXor2, a, b),
+                  nl.addGate2(CellKind::kAnd2, a, b)};
+}
+
+SumCarry fullAdder(Netlist& nl, NetId a, NetId b, NetId c) {
+  return SumCarry{nl.addGate3(CellKind::kXor3, a, b, c),
+                  nl.addGate3(CellKind::kMaj3, a, b, c)};
+}
+
+AdderResult rippleCarryAdder(Netlist& nl, const Bus& a, const Bus& b,
+                             NetId cin) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("rippleCarryAdder: width mismatch");
+  }
+  AdderResult result;
+  result.sum.reserve(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SumCarry fa = fullAdder(nl, a[i], b[i], carry);
+    result.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  result.carry = carry;
+  return result;
+}
+
+AdderResult koggeStoneAdder(Netlist& nl, const Bus& a, const Bus& b,
+                            NetId cin) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("koggeStoneAdder: width mismatch");
+  }
+  const auto width = static_cast<int>(a.size());
+  AdderResult result;
+  if (width == 0) {
+    result.carry = cin;
+    return result;
+  }
+  // Bit-level generate/propagate.
+  Bus g(a.size()), p(a.size());
+  for (int i = 0; i < width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    g[idx] = nl.addGate2(CellKind::kAnd2, a[idx], b[idx]);
+    p[idx] = nl.addGate2(CellKind::kXor2, a[idx], b[idx]);
+  }
+  // Prefix network: after the last stage, G[i]/P[i] span bits [0..i].
+  // Group propagate needs AND semantics, so prefix combine uses the
+  // XOR p only at the leaves and AND-propagate above; using XOR at the
+  // leaf level is valid for carry computation (p and g never both 1).
+  Bus G = g, P = p;
+  for (int dist = 1; dist < width; dist <<= 1) {
+    Bus nextG = G, nextP = P;
+    for (int i = dist; i < width; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const auto prev = static_cast<std::size_t>(i - dist);
+      const NetId pg = nl.addGate2(CellKind::kAnd2, P[idx], G[prev]);
+      nextG[idx] = nl.addGate2(CellKind::kOr2, G[idx], pg);
+      nextP[idx] = nl.addGate2(CellKind::kAnd2, P[idx], P[prev]);
+    }
+    G = std::move(nextG);
+    P = std::move(nextP);
+  }
+  // Carry into bit i: c[0] = cin; c[i] = G[i-1] | (P[i-1] & cin).
+  result.sum.resize(a.size());
+  result.sum[0] = nl.addGate2(CellKind::kXor2, p[0], cin);
+  for (int i = 1; i < width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const auto prev = static_cast<std::size_t>(i - 1);
+    const NetId pc = nl.addGate2(CellKind::kAnd2, P[prev], cin);
+    const NetId carry_in = nl.addGate2(CellKind::kOr2, G[prev], pc);
+    result.sum[idx] = nl.addGate2(CellKind::kXor2, p[idx], carry_in);
+  }
+  const auto msb = static_cast<std::size_t>(width - 1);
+  const NetId pc = nl.addGate2(CellKind::kAnd2, P[msb], cin);
+  result.carry = nl.addGate2(CellKind::kOr2, G[msb], pc);
+  return result;
+}
+
+SubResult subtractor(Netlist& nl, const Bus& a, const Bus& b) {
+  const Bus not_b = mapInv(nl, b);
+  const AdderResult sum = koggeStoneAdder(nl, a, not_b, nl.addConst(true));
+  return SubResult{sum.sum, nl.addGate1(CellKind::kInv, sum.carry)};
+}
+
+AdderResult addSub(Netlist& nl, const Bus& a, const Bus& b, NetId sub) {
+  Bus b_maybe_inverted;
+  b_maybe_inverted.reserve(b.size());
+  for (const NetId bit : b) {
+    b_maybe_inverted.push_back(nl.addGate2(CellKind::kXor2, bit, sub));
+  }
+  return koggeStoneAdder(nl, a, b_maybe_inverted, sub);
+}
+
+namespace {
+
+NetId reduceTree(Netlist& nl, Bus bits, CellKind kind, bool empty_value) {
+  if (bits.empty()) return nl.addConst(empty_value);
+  while (bits.size() > 1) {
+    Bus next;
+    next.reserve((bits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(nl.addGate2(kind, bits[i], bits[i + 1]));
+    }
+    if (bits.size() % 2 != 0) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+
+}  // namespace
+
+NetId orTree(Netlist& nl, const Bus& bits) {
+  return reduceTree(nl, bits, CellKind::kOr2, false);
+}
+
+NetId andTree(Netlist& nl, const Bus& bits) {
+  return reduceTree(nl, bits, CellKind::kAnd2, true);
+}
+
+NetId norTree(Netlist& nl, const Bus& bits) {
+  return nl.addGate1(CellKind::kInv, orTree(nl, bits));
+}
+
+NetId equalBus(Netlist& nl, const Bus& a, const Bus& b) {
+  const Bus diff = mapGate2(nl, CellKind::kXor2, a, b);
+  return norTree(nl, diff);
+}
+
+NetId greaterThan(Netlist& nl, const Bus& a, const Bus& b) {
+  // a > b  <=>  b - a borrows.
+  return subtractor(nl, b, a).borrow;
+}
+
+ShiftResult shiftRightSticky(Netlist& nl, const Bus& value,
+                             const Bus& shamt) {
+  ShiftResult result;
+  result.value = value;
+  result.sticky = nl.addConst(false);
+  const NetId zero = nl.addConst(false);
+  for (std::size_t stage = 0; stage < shamt.size(); ++stage) {
+    const std::size_t distance = std::size_t{1} << stage;
+    // Bits dropped by this stage, if it is enabled.
+    Bus dropped;
+    for (std::size_t i = 0; i < distance && i < result.value.size(); ++i) {
+      dropped.push_back(result.value[i]);
+    }
+    const NetId drop_any = orTree(nl, dropped);
+    const NetId stage_sticky =
+        nl.addGate2(CellKind::kAnd2, drop_any, shamt[stage]);
+    result.sticky = nl.addGate2(CellKind::kOr2, result.sticky, stage_sticky);
+
+    Bus shifted(result.value.size());
+    for (std::size_t i = 0; i < result.value.size(); ++i) {
+      const NetId moved = (i + distance < result.value.size())
+                              ? result.value[i + distance]
+                              : zero;
+      shifted[i] =
+          nl.addGate3(CellKind::kMux2, result.value[i], moved, shamt[stage]);
+    }
+    result.value = std::move(shifted);
+  }
+  return result;
+}
+
+Bus shiftLeft(Netlist& nl, const Bus& value, const Bus& shamt) {
+  Bus current = value;
+  const NetId zero = nl.addConst(false);
+  for (std::size_t stage = 0; stage < shamt.size(); ++stage) {
+    const std::size_t distance = std::size_t{1} << stage;
+    Bus shifted(current.size());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const NetId moved = (i >= distance) ? current[i - distance] : zero;
+      shifted[i] = nl.addGate3(CellKind::kMux2, current[i], moved,
+                               shamt[stage]);
+    }
+    current = std::move(shifted);
+  }
+  return current;
+}
+
+LzcResult leadingZeroCount(Netlist& nl, const Bus& value) {
+  if (value.empty()) {
+    throw std::invalid_argument("leadingZeroCount: empty bus");
+  }
+  // Pad at the LSB end with ones up to a power of two; the pad bits
+  // can never extend a leading-zero run past the real LSB.
+  std::size_t padded = 1;
+  int stages = 0;
+  while (padded < value.size()) {
+    padded <<= 1;
+    ++stages;
+  }
+  Bus current;
+  current.reserve(padded);
+  for (std::size_t i = 0; i < padded - value.size(); ++i) {
+    current.push_back(nl.addConst(true));
+  }
+  current.insert(current.end(), value.begin(), value.end());
+
+  LzcResult result;
+  result.all_zero = norTree(nl, value);
+  result.count.assign(static_cast<std::size_t>(stages), 0);
+  // Binary search from the MSB half downwards.
+  for (int stage = stages - 1; stage >= 0; --stage) {
+    const std::size_t half = current.size() / 2;
+    const Bus hi = netlist::slice(current, static_cast<int>(half),
+                                  static_cast<int>(half));
+    const Bus lo = netlist::slice(current, 0, static_cast<int>(half));
+    const NetId hi_zero = norTree(nl, hi);
+    result.count[static_cast<std::size_t>(stage)] = hi_zero;
+    // Continue the search in the half that holds the leading one.
+    current = mux2(nl, hi, lo, hi_zero);
+  }
+  return result;
+}
+
+TwoRows compressColumns(Netlist& nl,
+                        std::vector<std::vector<NetId>> columns) {
+  const std::size_t width = columns.size();
+  bool any_tall = true;
+  while (any_tall) {
+    any_tall = false;
+    std::vector<std::vector<NetId>> next(width);
+    for (std::size_t col = 0; col < width; ++col) {
+      auto& bits = columns[col];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        const SumCarry fa =
+            fullAdder(nl, bits[i], bits[i + 1], bits[i + 2]);
+        next[col].push_back(fa.sum);
+        if (col + 1 < width) next[col + 1].push_back(fa.carry);
+        i += 3;
+      }
+      // Pass the 0-2 leftover bits through to the next layer.
+      for (; i < bits.size(); ++i) next[col].push_back(bits[i]);
+    }
+    columns = std::move(next);
+    for (const auto& col : columns) {
+      if (col.size() > 2) {
+        any_tall = true;
+        break;
+      }
+    }
+  }
+  TwoRows rows;
+  rows.row_a.reserve(width);
+  rows.row_b.reserve(width);
+  const NetId zero = nl.addConst(false);
+  for (const auto& col : columns) {
+    rows.row_a.push_back(col.empty() ? zero : col[0]);
+    rows.row_b.push_back(col.size() > 1 ? col[1] : zero);
+  }
+  return rows;
+}
+
+Bus multiplyUnsigned(Netlist& nl, const Bus& a, const Bus& b,
+                     int out_width) {
+  std::vector<std::vector<NetId>> columns(
+      static_cast<std::size_t>(out_width));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::size_t col = i + j;
+      if (col >= static_cast<std::size_t>(out_width)) continue;
+      columns[col].push_back(
+          nl.addGate2(CellKind::kAnd2, a[i], b[j]));
+    }
+  }
+  const TwoRows rows = compressColumns(nl, std::move(columns));
+  return koggeStoneAdder(nl, rows.row_a, rows.row_b, nl.addConst(false))
+      .sum;
+}
+
+AdderResult incrementer(Netlist& nl, const Bus& value, NetId inc) {
+  AdderResult result;
+  result.sum.reserve(value.size());
+  NetId carry = inc;
+  for (const NetId bit : value) {
+    const SumCarry ha = halfAdder(nl, bit, carry);
+    result.sum.push_back(ha.sum);
+    carry = ha.carry;
+  }
+  result.carry = carry;
+  return result;
+}
+
+}  // namespace tevot::circuits

@@ -1,0 +1,115 @@
+// Reusable gate-level datapath components.
+//
+// These are the building blocks the four functional-unit generators
+// are assembled from: adders (ripple and Kogge-Stone), carry-save
+// column compression for multipliers, logarithmic barrel shifters
+// (with sticky-bit collection for FP rounding), leading-zero counters,
+// and balanced reduction trees. Every component takes the Netlist
+// being built plus LSB-first buses and returns freshly created nets.
+#pragma once
+
+#include "netlist/wordbus.hpp"
+
+namespace tevot::circuits {
+
+using netlist::Bus;
+using netlist::NetId;
+using netlist::Netlist;
+
+struct SumCarry {
+  NetId sum;
+  NetId carry;
+};
+
+/// Half adder: sum = a ^ b, carry = a & b.
+SumCarry halfAdder(Netlist& nl, NetId a, NetId b);
+
+/// Full adder: sum = a ^ b ^ c (XOR3), carry = majority (MAJ3).
+SumCarry fullAdder(Netlist& nl, NetId a, NetId b, NetId c);
+
+struct AdderResult {
+  Bus sum;      ///< same width as the operands
+  NetId carry;  ///< carry out of the MSB
+};
+
+/// Ripple-carry adder; O(W) depth. Realistic for narrow exponent
+/// datapaths and as the long-carry-chain INT ADD variant.
+AdderResult rippleCarryAdder(Netlist& nl, const Bus& a, const Bus& b,
+                             NetId cin);
+
+/// Kogge-Stone parallel-prefix adder; O(log W) depth. The default
+/// fast adder, standing in for what logic synthesis would produce.
+AdderResult koggeStoneAdder(Netlist& nl, const Bus& a, const Bus& b,
+                            NetId cin);
+
+struct SubResult {
+  Bus diff;      ///< a - b (two's complement wrap)
+  NetId borrow;  ///< 1 when b > a (unsigned)
+};
+
+/// Subtractor built on the Kogge-Stone adder (a + ~b + 1).
+SubResult subtractor(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Conditional subtract/add: sub==1 -> a - b, sub==0 -> a + b.
+/// Width of result = operand width (wrap); carry also returned.
+AdderResult addSub(Netlist& nl, const Bus& a, const Bus& b, NetId sub);
+
+/// Balanced OR / AND reduction trees; empty bus yields a constant.
+NetId orTree(Netlist& nl, const Bus& bits);
+NetId andTree(Netlist& nl, const Bus& bits);
+NetId norTree(Netlist& nl, const Bus& bits);
+
+/// Equality comparator: 1 when a == b.
+NetId equalBus(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Unsigned magnitude comparator: 1 when a > b. O(log W)-ish depth via
+/// the subtractor borrow.
+NetId greaterThan(Netlist& nl, const Bus& a, const Bus& b);
+
+struct ShiftResult {
+  Bus value;
+  NetId sticky;  ///< OR of all bits shifted out (right shift only)
+};
+
+/// Logarithmic right shifter: value >> shamt, zeros shifted in.
+/// Shift amounts up to 2^shamt.size()-1; bits dropped off the LSB end
+/// are collected into `sticky`.
+ShiftResult shiftRightSticky(Netlist& nl, const Bus& value,
+                             const Bus& shamt);
+
+/// Logarithmic left shifter: value << shamt, zeros shifted in; bits
+/// shifted past the MSB are discarded.
+Bus shiftLeft(Netlist& nl, const Bus& value, const Bus& shamt);
+
+struct LzcResult {
+  Bus count;       ///< leading-zero count, ceil(log2(W))+? bits
+  NetId all_zero;  ///< 1 when every input bit is 0
+};
+
+/// Leading-zero counter over `value` (MSB = highest index). The count
+/// is exact for nonzero inputs; for an all-zero input the count bus is
+/// unspecified and `all_zero` is set.
+LzcResult leadingZeroCount(Netlist& nl, const Bus& value);
+
+/// Carry-save reduction of an addend matrix. `columns[i]` holds the
+/// bits of weight 2^i. Reduces with full/half adders until every
+/// column has at most two bits; returns two rows (padded with const0)
+/// ready for a carry-propagate adder. Carries out of the last column
+/// are discarded (callers size `columns` to the full result width).
+struct TwoRows {
+  Bus row_a;
+  Bus row_b;
+};
+TwoRows compressColumns(Netlist& nl,
+                        std::vector<std::vector<NetId>> columns);
+
+/// Unsigned multiplier array: partial products AND-ed and compressed,
+/// final Kogge-Stone add. Returns the low `out_width` product bits.
+Bus multiplyUnsigned(Netlist& nl, const Bus& a, const Bus& b,
+                     int out_width);
+
+/// Incrementer: value + inc (inc is a single net), ripple of
+/// half-adders; returns width bits plus carry.
+AdderResult incrementer(Netlist& nl, const Bus& value, NetId inc);
+
+}  // namespace tevot::circuits

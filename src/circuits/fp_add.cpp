@@ -1,0 +1,158 @@
+#include "circuits/fp_add.hpp"
+
+#include "circuits/components.hpp"
+
+namespace tevot::circuits {
+
+using netlist::CellKind;
+
+netlist::Netlist buildFpAdd() {
+  netlist::Netlist nl("fp_add32");
+  const Bus a = netlist::addInputBus(nl, "a", 32);
+  const Bus b = netlist::addInputBus(nl, "b", 32);
+  const NetId zero = nl.addConst(false);
+  const NetId one = nl.addConst(true);
+
+  // Field split (LSB-first: mantissa 0..22, exponent 23..30, sign 31).
+  const Bus ma = netlist::slice(a, 0, 23);
+  const Bus ea = netlist::slice(a, 23, 8);
+  const NetId sa = a[31];
+  const Bus mb = netlist::slice(b, 0, 23);
+  const Bus eb = netlist::slice(b, 23, 8);
+  const NetId sb = b[31];
+
+  const NetId za = norTree(nl, ea);  // DAZ: zero exponent => zero
+  const NetId zb = norTree(nl, eb);
+
+  // Magnitude compare on exponent:mantissa and operand ordering.
+  const Bus mag_a = netlist::concat(ma, ea);  // 31 bits
+  const Bus mag_b = netlist::concat(mb, eb);
+  const NetId swap = greaterThan(nl, mag_b, mag_a);
+
+  const NetId s_large = nl.addGate3(CellKind::kMux2, sa, sb, swap);
+  const Bus e_large = netlist::mux2(nl, ea, eb, swap);
+  const Bus e_small = netlist::mux2(nl, eb, ea, swap);
+  const Bus m_large = netlist::mux2(nl, ma, mb, swap);
+  const Bus m_small = netlist::mux2(nl, mb, ma, swap);
+
+  // Alignment distance d = e_large - e_small (8 bits, non-negative).
+  const Bus d = subtractor(nl, e_large, e_small).diff;
+
+  // 27-bit significands: 3 G/R/S zeros, 23 mantissa bits, hidden one.
+  auto makeSig = [&](const Bus& mantissa) {
+    Bus sig{zero, zero, zero};
+    sig.insert(sig.end(), mantissa.begin(), mantissa.end());
+    sig.push_back(one);
+    return sig;
+  };
+  const Bus sig_large = makeSig(m_large);
+  const Bus sig_small = makeSig(m_small);
+
+  // Align the small significand. The 5-bit barrel handles d in
+  // [0, 31] (shifts >= 27 naturally shift everything into sticky);
+  // d >= 32 (any high bit of d set) kills the operand entirely.
+  const Bus shamt = netlist::slice(d, 0, 5);
+  const ShiftResult shift = shiftRightSticky(nl, sig_small, shamt);
+  const NetId kill = orTree(nl, netlist::slice(d, 5, 3));
+  const NetId not_kill = nl.addGate1(CellKind::kInv, kill);
+  Bus aligned;
+  aligned.reserve(27);
+  for (const NetId bit : shift.value) {
+    aligned.push_back(nl.addGate2(CellKind::kAnd2, bit, not_kill));
+  }
+  // Sticky: barrel-collected bits, or everything when killed (the
+  // hidden one makes sig_small nonzero).
+  const NetId sticky =
+      nl.addGate3(CellKind::kMux2, shift.sticky, one, kill);
+  aligned[0] = nl.addGate2(CellKind::kOr2, aligned[0], sticky);
+
+  // 28-bit effective add/subtract (bit 27 is the carry slot).
+  const Bus large28 = netlist::zeroExtend(nl, sig_large, 28);
+  const Bus small28 = netlist::zeroExtend(nl, aligned, 28);
+  const NetId effective_sub = nl.addGate2(CellKind::kXor2, sa, sb);
+  const Bus raw = addSub(nl, large28, small28, effective_sub).sum;
+  const NetId raw_zero = norTree(nl, raw);
+
+  // Normalization. Carry case: right shift by one, folding the
+  // dropped bit into sticky. Otherwise: left shift by the
+  // leading-zero count of the low 27 bits.
+  const NetId carry_case = raw[27];
+  Bus right_shifted;  // 27 bits
+  right_shifted.push_back(nl.addGate2(CellKind::kOr2, raw[0], raw[1]));
+  for (int i = 2; i <= 27; ++i) {
+    right_shifted.push_back(raw[static_cast<std::size_t>(i)]);
+  }
+  const Bus no_carry = netlist::slice(raw, 0, 27);
+  const Bus norm_in = netlist::mux2(nl, no_carry, right_shifted, carry_case);
+
+  const LzcResult lzc = leadingZeroCount(nl, norm_in);
+  // For the carry case norm_in's MSB is 1, so lz == 0 and the left
+  // shift is a no-op; one shifter serves both paths.
+  const Bus normalized = shiftLeft(nl, norm_in, lzc.count);
+
+  // Exponent: e_large + carry_case - lz, in 10-bit two's complement.
+  const Bus e10 = netlist::zeroExtend(nl, e_large, 10);
+  const Bus e_plus = incrementer(nl, e10, carry_case).sum;
+  const Bus lz10 = netlist::zeroExtend(nl, lzc.count, 10);
+  const Bus e_norm = subtractor(nl, e_plus, lz10).diff;
+
+  // Round to nearest even.
+  const NetId lsb = normalized[3];
+  const NetId g_bit = normalized[2];
+  const NetId r_bit = normalized[1];
+  const NetId s_bit = normalized[0];
+  const NetId any_low = nl.addGate3(CellKind::kOr3, r_bit, s_bit, lsb);
+  const NetId round_up = nl.addGate2(CellKind::kAnd2, g_bit, any_low);
+  const Bus mant24 = netlist::slice(normalized, 3, 24);
+  const AdderResult rounded = incrementer(nl, mant24, round_up);
+  const NetId mant_carry = rounded.carry;
+  const Bus e_final = incrementer(nl, e_norm, mant_carry).sum;
+
+  // Exponent range checks (e_final is exact in 10-bit two's
+  // complement: [-26, 256]).
+  const NetId e_neg = e_final[9];
+  const NetId e_zero = norTree(nl, e_final);
+  const NetId underflow = nl.addGate2(CellKind::kOr2, e_neg, e_zero);
+  const NetId low8_ones = andTree(nl, netlist::slice(e_final, 0, 8));
+  const NetId ge255_mag = nl.addGate2(CellKind::kOr2, e_final[8], low8_ones);
+  const NetId not_neg = nl.addGate1(CellKind::kInv, e_neg);
+  const NetId overflow = nl.addGate2(CellKind::kAnd2, ge255_mag, not_neg);
+
+  // Assemble the normal-path result.
+  const NetId not_mant_carry = nl.addGate1(CellKind::kInv, mant_carry);
+  const NetId not_overflow = nl.addGate1(CellKind::kInv, overflow);
+  Bus mant_field;  // 23 bits; zero when rounding carried or overflowed
+  const NetId mant_keep =
+      nl.addGate2(CellKind::kAnd2, not_mant_carry, not_overflow);
+  for (int i = 0; i < 23; ++i) {
+    mant_field.push_back(nl.addGate2(
+        CellKind::kAnd2, rounded.sum[static_cast<std::size_t>(i)],
+        mant_keep));
+  }
+  Bus exp_field;  // 8 bits; all-ones on overflow
+  for (int i = 0; i < 8; ++i) {
+    exp_field.push_back(nl.addGate2(
+        CellKind::kOr2, e_final[static_cast<std::size_t>(i)], overflow));
+  }
+
+  Bus result = netlist::concat(mant_field, exp_field);
+  result.push_back(s_large);  // bit 31
+
+  // Special-case selection, innermost first:
+  //   underflow -> signed zero; raw == 0 -> +0; one operand zero ->
+  //   the other operand; both zero -> +0.
+  Bus signed_zero(31, zero);
+  signed_zero.push_back(s_large);
+  result = netlist::mux2(nl, result, signed_zero, underflow);
+  Bus plus_zero(32, zero);
+  result = netlist::mux2(nl, result, plus_zero, raw_zero);
+  result = netlist::mux2(nl, result, a, zb);
+  result = netlist::mux2(nl, result, b, za);
+  const NetId both_zero = nl.addGate2(CellKind::kAnd2, za, zb);
+  result = netlist::mux2(nl, result, plus_zero, both_zero);
+
+  netlist::markOutputBus(nl, result, "r");
+  return nl;
+}
+
+}  // namespace tevot::circuits

@@ -1,0 +1,18 @@
+// IEEE-754 single-precision floating-point adder FU (FP ADD).
+//
+// Classic single-path FP adder: magnitude compare & swap, exponent-
+// difference alignment shift with sticky collection, significand
+// add/subtract, leading-zero-count normalization, and round-to-
+// nearest-even — built entirely from the primitive cell set. The
+// realized function is bit-identical to fpAddRef() (see fp_ref.hpp for
+// the exact semantics, including DAZ/FTZ).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace tevot::circuits {
+
+/// Builds the FP adder with inputs a[32], b[32] and outputs r[32].
+netlist::Netlist buildFpAdd();
+
+}  // namespace tevot::circuits

@@ -1,0 +1,112 @@
+#include "circuits/fp_mul.hpp"
+
+#include "circuits/components.hpp"
+
+namespace tevot::circuits {
+
+using netlist::CellKind;
+
+netlist::Netlist buildFpMul() {
+  netlist::Netlist nl("fp_mul32");
+  const Bus a = netlist::addInputBus(nl, "a", 32);
+  const Bus b = netlist::addInputBus(nl, "b", 32);
+  const NetId zero = nl.addConst(false);
+  const NetId one = nl.addConst(true);
+
+  const Bus ma = netlist::slice(a, 0, 23);
+  const Bus ea = netlist::slice(a, 23, 8);
+  const NetId sa = a[31];
+  const Bus mb = netlist::slice(b, 0, 23);
+  const Bus eb = netlist::slice(b, 23, 8);
+  const NetId sb = b[31];
+
+  const NetId sign = nl.addGate2(CellKind::kXor2, sa, sb);
+  const NetId za = norTree(nl, ea);
+  const NetId zb = norTree(nl, eb);
+  const NetId any_zero = nl.addGate2(CellKind::kOr2, za, zb);
+
+  // 24-bit significands with the hidden one.
+  Bus sig_a = ma;
+  sig_a.push_back(one);
+  Bus sig_b = mb;
+  sig_b.push_back(one);
+
+  // Full 48-bit product, in [2^46, 2^48).
+  const Bus product = multiplyUnsigned(nl, sig_a, sig_b, 48);
+  const NetId norm = product[47];  // product >= 2^47
+
+  // Significand + G/R selection for the two normalization cases.
+  const Bus mant_hi = netlist::slice(product, 24, 24);
+  const Bus mant_lo = netlist::slice(product, 23, 24);
+  const Bus mant24 = netlist::mux2(nl, mant_lo, mant_hi, norm);
+  const NetId g_bit =
+      nl.addGate3(CellKind::kMux2, product[22], product[23], norm);
+  const NetId r_bit =
+      nl.addGate3(CellKind::kMux2, product[21], product[22], norm);
+  // Sticky: OR of the bits below R. Low 21 bits are shared; the norm
+  // case additionally includes bit 21.
+  const NetId sticky_lo = orTree(nl, netlist::slice(product, 0, 21));
+  const NetId sticky_hi =
+      nl.addGate2(CellKind::kOr2, sticky_lo, product[21]);
+  const NetId s_bit =
+      nl.addGate3(CellKind::kMux2, sticky_lo, sticky_hi, norm);
+
+  // Round to nearest even.
+  const NetId lsb = mant24[0];
+  const NetId any_low = nl.addGate3(CellKind::kOr3, r_bit, s_bit, lsb);
+  const NetId round_up = nl.addGate2(CellKind::kAnd2, g_bit, any_low);
+  const AdderResult rounded = incrementer(nl, mant24, round_up);
+  const NetId mant_carry = rounded.carry;
+
+  // Exponent: ea + eb - 127 + norm + mant_carry, 10-bit two's
+  // complement. -127 mod 1024 == 897.
+  const Bus ea10 = netlist::zeroExtend(nl, ea, 10);
+  const Bus eb10 = netlist::zeroExtend(nl, eb, 10);
+  const Bus e_sum = koggeStoneAdder(nl, ea10, eb10, zero).sum;
+  const Bus bias = netlist::constBus(nl, 897, 10);
+  const Bus e_unbiased = koggeStoneAdder(nl, e_sum, bias, norm).sum;
+  const Bus e_final = incrementer(nl, e_unbiased, mant_carry).sum;
+
+  // Range checks: ea,eb in [1,254] puts e_final in [-125, 383], exact
+  // in 10-bit two's complement.
+  const NetId e_neg = e_final[9];
+  const NetId e_zero = norTree(nl, e_final);
+  const NetId underflow = nl.addGate2(CellKind::kOr2, e_neg, e_zero);
+  const NetId low8_ones = andTree(nl, netlist::slice(e_final, 0, 8));
+  const NetId ge255_mag = nl.addGate2(CellKind::kOr2, e_final[8], low8_ones);
+  const NetId not_neg = nl.addGate1(CellKind::kInv, e_neg);
+  const NetId overflow = nl.addGate2(CellKind::kAnd2, ge255_mag, not_neg);
+
+  // Assemble: mantissa zero on rounding carry (all-ones wrap) or
+  // overflow; exponent forced to all-ones on overflow.
+  const NetId not_mant_carry = nl.addGate1(CellKind::kInv, mant_carry);
+  const NetId not_overflow = nl.addGate1(CellKind::kInv, overflow);
+  const NetId mant_keep =
+      nl.addGate2(CellKind::kAnd2, not_mant_carry, not_overflow);
+  Bus mant_field;
+  for (int i = 0; i < 23; ++i) {
+    mant_field.push_back(nl.addGate2(
+        CellKind::kAnd2, rounded.sum[static_cast<std::size_t>(i)],
+        mant_keep));
+  }
+  Bus exp_field;
+  for (int i = 0; i < 8; ++i) {
+    exp_field.push_back(nl.addGate2(
+        CellKind::kOr2, e_final[static_cast<std::size_t>(i)], overflow));
+  }
+
+  Bus result = netlist::concat(mant_field, exp_field);
+  result.push_back(sign);
+
+  // Underflow or a zero operand -> signed zero.
+  Bus signed_zero(31, zero);
+  signed_zero.push_back(sign);
+  const NetId force_zero =
+      nl.addGate2(CellKind::kOr2, underflow, any_zero);
+  result = netlist::mux2(nl, result, signed_zero, force_zero);
+
+  netlist::markOutputBus(nl, result, "r");
+  return nl;
+}
+
+}  // namespace tevot::circuits

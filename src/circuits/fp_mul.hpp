@@ -1,0 +1,16 @@
+// IEEE-754 single-precision floating-point multiplier FU (FP MUL).
+//
+// 24x24 significand multiplier (carry-save compression + Kogge-Stone
+// final add), exponent add with bias removal, single-step
+// normalization and round-to-nearest-even. Bit-identical to
+// fpMulRef() (see fp_ref.hpp for exact semantics, including DAZ/FTZ).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace tevot::circuits {
+
+/// Builds the FP multiplier with inputs a[32], b[32], outputs r[32].
+netlist::Netlist buildFpMul();
+
+}  // namespace tevot::circuits

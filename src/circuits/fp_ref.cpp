@@ -1,0 +1,137 @@
+#include "circuits/fp_ref.hpp"
+
+namespace tevot::circuits {
+namespace {
+
+constexpr std::uint32_t kMantMask = 0x7fffffu;
+constexpr std::uint32_t kHidden = 1u << 23;
+
+std::uint32_t packResult(std::uint32_t sign, std::uint32_t exponent,
+                         std::uint32_t mantissa) {
+  return (sign << 31) | (exponent << 23) | (mantissa & kMantMask);
+}
+
+std::uint32_t infinity(std::uint32_t sign) {
+  return packResult(sign, 0xff, 0);
+}
+
+}  // namespace
+
+std::uint32_t fpAddRef(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t sa = a >> 31, sb = b >> 31;
+  const std::uint32_t ea = (a >> 23) & 0xff, eb = (b >> 23) & 0xff;
+  const std::uint32_t ma = a & kMantMask, mb = b & kMantMask;
+  const bool za = ea == 0, zb = eb == 0;  // DAZ
+  if (za && zb) return 0;
+  if (za) return b;
+  if (zb) return a;
+
+  // Order by magnitude; exponent:mantissa concatenation compares
+  // magnitudes directly for (non-negative-zero) floats.
+  const std::uint32_t mag_a = (ea << 23) | ma;
+  const std::uint32_t mag_b = (eb << 23) | mb;
+  const bool swap = mag_b > mag_a;
+  const std::uint32_t s_large = swap ? sb : sa;
+  const std::uint32_t e_large = swap ? eb : ea;
+  const std::uint32_t e_small = swap ? ea : eb;
+  const std::uint32_t m_large = swap ? mb : ma;
+  const std::uint32_t m_small = swap ? ma : mb;
+
+  // 27-bit significands: 24 significand bits + G,R,S positions.
+  const std::uint32_t sig_large = (kHidden | m_large) << 3;
+  const std::uint32_t sig_small = (kHidden | m_small) << 3;
+  const std::uint32_t d = e_large - e_small;
+
+  std::uint32_t shifted;
+  bool sticky_dropped;
+  if (d >= 27) {
+    shifted = 0;
+    sticky_dropped = true;  // hidden bit guarantees sig_small != 0
+  } else {
+    shifted = sig_small >> d;
+    sticky_dropped = d > 0 && (sig_small & ((1u << d) - 1)) != 0;
+  }
+  // Fold dropped-bit sticky into the S position (bit 0).
+  shifted |= sticky_dropped ? 1u : 0u;
+
+  const bool effective_sub = sa != sb;
+  std::uint32_t raw =
+      effective_sub ? sig_large - shifted : sig_large + shifted;  // 28 bits
+  if (raw == 0) return 0;  // exact cancellation -> +0
+
+  int exponent = static_cast<int>(e_large);
+  if (raw & (1u << 27)) {
+    // Carry out of the significand add: renormalize right by one,
+    // absorbing the dropped bit into sticky.
+    const std::uint32_t old0 = raw & 1u;
+    const std::uint32_t old1 = (raw >> 1) & 1u;
+    raw >>= 1;
+    raw = (raw & ~1u) | (old0 | old1);
+    exponent += 1;
+  } else {
+    // Left-normalize so the leading one sits at bit 26.
+    while ((raw & (1u << 26)) == 0) {
+      raw <<= 1;
+      exponent -= 1;
+    }
+  }
+
+  // Round to nearest, ties to even, on the G/R/S bits.
+  const std::uint32_t lsb = (raw >> 3) & 1u;
+  const std::uint32_t g = (raw >> 2) & 1u;
+  const std::uint32_t r = (raw >> 1) & 1u;
+  const std::uint32_t s = raw & 1u;
+  std::uint32_t mant = raw >> 3;  // 24 bits including hidden one
+  const std::uint32_t round_up = g & (r | s | lsb);
+  mant += round_up;
+  if (mant & (1u << 24)) {
+    mant >>= 1;  // mantissa was all ones; becomes 1.000...
+    exponent += 1;
+  }
+
+  if (exponent <= 0) return s_large << 31;  // FTZ underflow
+  if (exponent >= 255) return infinity(s_large);
+  return packResult(s_large, static_cast<std::uint32_t>(exponent), mant);
+}
+
+std::uint32_t fpMulRef(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t sa = a >> 31, sb = b >> 31;
+  const std::uint32_t ea = (a >> 23) & 0xff, eb = (b >> 23) & 0xff;
+  const std::uint32_t ma = a & kMantMask, mb = b & kMantMask;
+  const std::uint32_t sign = sa ^ sb;
+  if (ea == 0 || eb == 0) return sign << 31;  // DAZ/FTZ
+
+  const std::uint64_t product = static_cast<std::uint64_t>(kHidden | ma) *
+                                static_cast<std::uint64_t>(kHidden | mb);
+  // product in [2^46, 2^48).
+  int exponent = static_cast<int>(ea) + static_cast<int>(eb) - 127;
+
+  std::uint32_t mant, g, r;
+  bool s;
+  if ((product >> 47) & 1u) {
+    mant = static_cast<std::uint32_t>(product >> 24) & 0xffffffu;
+    g = static_cast<std::uint32_t>(product >> 23) & 1u;
+    r = static_cast<std::uint32_t>(product >> 22) & 1u;
+    s = (product & ((1ull << 22) - 1)) != 0;
+    exponent += 1;
+  } else {
+    mant = static_cast<std::uint32_t>(product >> 23) & 0xffffffu;
+    g = static_cast<std::uint32_t>(product >> 22) & 1u;
+    r = static_cast<std::uint32_t>(product >> 21) & 1u;
+    s = (product & ((1ull << 21) - 1)) != 0;
+  }
+
+  const std::uint32_t lsb = mant & 1u;
+  const std::uint32_t round_up = g & (r | (s ? 1u : 0u) | lsb);
+  mant += round_up;
+  if (mant & (1u << 24)) {
+    mant >>= 1;
+    exponent += 1;
+  }
+
+  if (exponent <= 0) return sign << 31;  // FTZ underflow
+  if (exponent >= 255) return infinity(sign);
+  return packResult(sign, static_cast<std::uint32_t>(exponent), mant);
+}
+
+}  // namespace tevot::circuits

@@ -1,0 +1,32 @@
+// Word-level golden models of the FP ADD / FP MUL functional units.
+//
+// These implement *exactly* the algorithm the gate-level generators
+// realize (round-to-nearest-even via guard/round/sticky bits,
+// flush-to-zero for subnormal inputs and underflowing results), so
+// netlist-vs-reference equivalence can be checked bit for bit. The
+// paper's FloPoCo-generated FPUs likewise implement their own
+// IEEE-754-compatible datapath rather than a specific vendor FPU.
+//
+// Semantics and deliberate deviations from full IEEE-754:
+//  * Inputs with a zero exponent field are treated as (signed) zero
+//    regardless of mantissa (DAZ: denormals-are-zero).
+//  * Results whose exponent underflows are flushed to a signed zero
+//    (FTZ) rather than denormalized.
+//  * Exponent field 255 is treated as an ordinary (huge) value; the
+//    image-processing workloads never produce Inf/NaN.
+//  * Overflow saturates to the Inf encoding (exponent 255, mantissa 0).
+// For normal inputs producing normal results, fpAddRef/fpMulRef agree
+// with IEEE-754 single-precision addition/multiplication (tested).
+#pragma once
+
+#include <cstdint>
+
+namespace tevot::circuits {
+
+/// Bit pattern of a + b under the FU algorithm described above.
+std::uint32_t fpAddRef(std::uint32_t a, std::uint32_t b);
+
+/// Bit pattern of a * b under the FU algorithm described above.
+std::uint32_t fpMulRef(std::uint32_t a, std::uint32_t b);
+
+}  // namespace tevot::circuits

@@ -1,0 +1,72 @@
+#include "circuits/int_add.hpp"
+
+#include <algorithm>
+
+#include "circuits/components.hpp"
+
+namespace tevot::circuits {
+
+namespace {
+
+const char* archSuffix(AdderArch arch) {
+  switch (arch) {
+    case AdderArch::kKoggeStone:
+      return "_ks";
+    case AdderArch::kRipple:
+      return "_rc";
+    case AdderArch::kCarrySelect:
+      return "_cs";
+  }
+  return "";
+}
+
+/// Carry-select adder: fixed 4-bit blocks, each computed twice (for
+/// carry-in 0 and 1) with the block result muxed by the incoming
+/// carry — the middle ground between ripple (area) and prefix (delay).
+AdderResult carrySelectAdder(Netlist& nl, const Bus& a, const Bus& b,
+                             NetId cin) {
+  constexpr int kBlock = 4;
+  AdderResult result;
+  NetId carry = cin;
+  const NetId zero = nl.addConst(false);
+  const NetId one = nl.addConst(true);
+  for (int lo = 0; lo < static_cast<int>(a.size()); lo += kBlock) {
+    const int width = std::min(kBlock, static_cast<int>(a.size()) - lo);
+    const Bus block_a = netlist::slice(a, lo, width);
+    const Bus block_b = netlist::slice(b, lo, width);
+    const AdderResult if0 = rippleCarryAdder(nl, block_a, block_b, zero);
+    const AdderResult if1 = rippleCarryAdder(nl, block_a, block_b, one);
+    const Bus chosen = netlist::mux2(nl, if0.sum, if1.sum, carry);
+    result.sum.insert(result.sum.end(), chosen.begin(), chosen.end());
+    carry = nl.addGate3(netlist::CellKind::kMux2, if0.carry, if1.carry,
+                        carry);
+  }
+  result.carry = carry;
+  return result;
+}
+
+}  // namespace
+
+netlist::Netlist buildIntAdd(int width, AdderArch arch) {
+  netlist::Netlist nl("int_add" + std::to_string(width) +
+                      archSuffix(arch));
+  const Bus a = netlist::addInputBus(nl, "a", width);
+  const Bus b = netlist::addInputBus(nl, "b", width);
+  const NetId cin = nl.addConst(false);
+  AdderResult result;
+  switch (arch) {
+    case AdderArch::kKoggeStone:
+      result = koggeStoneAdder(nl, a, b, cin);
+      break;
+    case AdderArch::kRipple:
+      result = rippleCarryAdder(nl, a, b, cin);
+      break;
+    case AdderArch::kCarrySelect:
+      result = carrySelectAdder(nl, a, b, cin);
+      break;
+  }
+  netlist::markOutputBus(nl, result.sum, "s");
+  return nl;
+}
+
+}  // namespace tevot::circuits

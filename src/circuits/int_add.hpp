@@ -1,0 +1,21 @@
+// 32-bit integer adder functional unit (INT ADD).
+//
+// Two generator variants: a Kogge-Stone parallel-prefix adder (the
+// default — what logic synthesis produces for a timing-constrained
+// adder) and a ripple-carry adder (long data-dependent carry chains,
+// used in tests and the architecture ablation bench). The FU computes
+// s = a + b mod 2^width and exposes the `width` sum bits as outputs.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace tevot::circuits {
+
+enum class AdderArch { kKoggeStone, kRipple, kCarrySelect };
+
+/// Builds an integer adder FU with inputs a[width], b[width] and
+/// outputs s[width].
+netlist::Netlist buildIntAdd(int width = 32,
+                             AdderArch arch = AdderArch::kKoggeStone);
+
+}  // namespace tevot::circuits

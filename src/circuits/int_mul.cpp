@@ -1,0 +1,85 @@
+#include "circuits/int_mul.hpp"
+
+#include <stdexcept>
+
+#include "circuits/components.hpp"
+
+namespace tevot::circuits {
+namespace {
+
+using netlist::CellKind;
+
+/// Radix-4 modified Booth: for each pair of multiplier bits, a digit
+/// in {-2,-1,0,1,2} selects the partial product. With the product
+/// truncated to the low `width` bits, sign extension falls out of the
+/// select logic (magnitude bits beyond a's width are zero, so the
+/// XOR-negation naturally extends the sign), and each negative digit
+/// contributes its +1 two's-complement correction in its own column.
+netlist::Netlist buildBoothMul(int width) {
+  if (width % 2 != 0) {
+    throw std::invalid_argument("buildIntMul: Booth needs an even width");
+  }
+  netlist::Netlist nl("int_mul" + std::to_string(width) + "_booth");
+  const Bus a = netlist::addInputBus(nl, "a", width);
+  const Bus b = netlist::addInputBus(nl, "b", width);
+  const NetId zero = nl.addConst(false);
+
+  std::vector<std::vector<NetId>> columns(
+      static_cast<std::size_t>(width));
+  for (int i = 0; i < width / 2; ++i) {
+    // Digit bits: (b[2i+1], b[2i], b[2i-1]) with b[-1] = 0.
+    const NetId b1 = b[static_cast<std::size_t>(2 * i + 1)];
+    const NetId b0 = b[static_cast<std::size_t>(2 * i)];
+    const NetId bm1 =
+        i == 0 ? zero : b[static_cast<std::size_t>(2 * i - 1)];
+
+    const NetId one = nl.addGate2(CellKind::kXor2, b0, bm1);
+    // two = (b1 & !b0 & !bm1) | (!b1 & b0 & bm1)
+    const NetId b0_or_bm1 = nl.addGate2(CellKind::kOr2, b0, bm1);
+    const NetId not_b0_or_bm1 = nl.addGate1(CellKind::kInv, b0_or_bm1);
+    const NetId hi_two = nl.addGate2(CellKind::kAnd2, b1, not_b0_or_bm1);
+    const NetId b0_and_bm1 = nl.addGate2(CellKind::kAnd2, b0, bm1);
+    const NetId not_b1 = nl.addGate1(CellKind::kInv, b1);
+    const NetId lo_two = nl.addGate2(CellKind::kAnd2, not_b1, b0_and_bm1);
+    const NetId two = nl.addGate2(CellKind::kOr2, hi_two, lo_two);
+    // Negate only when the magnitude is nonzero (digit -1 or -2).
+    const NetId magnitude = nl.addGate2(CellKind::kOr2, one, two);
+    const NetId neg = nl.addGate2(CellKind::kAnd2, b1, magnitude);
+
+    // Partial-product bits at columns 2i + j, truncated to `width`.
+    for (int j = 0; 2 * i + j < width; ++j) {
+      const NetId a_j =
+          j < width ? a[static_cast<std::size_t>(j)] : zero;
+      const NetId a_jm1 =
+          j >= 1 && j - 1 < width ? a[static_cast<std::size_t>(j - 1)]
+                                  : zero;
+      const NetId via_one = nl.addGate2(CellKind::kAnd2, one, a_j);
+      const NetId via_two = nl.addGate2(CellKind::kAnd2, two, a_jm1);
+      const NetId mag_bit = nl.addGate2(CellKind::kOr2, via_one, via_two);
+      const NetId pp_bit = nl.addGate2(CellKind::kXor2, mag_bit, neg);
+      columns[static_cast<std::size_t>(2 * i + j)].push_back(pp_bit);
+    }
+    // Two's-complement correction for negative digits.
+    columns[static_cast<std::size_t>(2 * i)].push_back(neg);
+  }
+
+  const TwoRows rows = compressColumns(nl, std::move(columns));
+  const Bus product =
+      koggeStoneAdder(nl, rows.row_a, rows.row_b, zero).sum;
+  netlist::markOutputBus(nl, product, "p");
+  return nl;
+}
+
+}  // namespace
+
+netlist::Netlist buildIntMul(int width, MulArch arch) {
+  if (arch == MulArch::kBooth) return buildBoothMul(width);
+  netlist::Netlist nl("int_mul" + std::to_string(width));
+  const Bus a = netlist::addInputBus(nl, "a", width);
+  const Bus b = netlist::addInputBus(nl, "b", width);
+  const Bus product = multiplyUnsigned(nl, a, b, width);
+  netlist::markOutputBus(nl, product, "p");
+  return nl;
+}
+
+}  // namespace tevot::circuits

@@ -1,0 +1,26 @@
+// 32-bit integer multiplier functional unit (INT MUL).
+//
+// Two architectures:
+//  * kCarrySaveArray (default): AND-gate partial products reduced with
+//    a carry-save (Wallace-style) compressor tree and summed with a
+//    final Kogge-Stone adder;
+//  * kBooth: radix-4 modified-Booth recoding of operand b (half the
+//    partial products, each in {0, +-a, +-2a}), the standard
+//    power/area trade in synthesized multipliers.
+// Both compute p = a * b mod 2^width (the usual integer multiply
+// semantics) and expose the low `width` product bits, so they are
+// drop-in interchangeable for timing studies.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace tevot::circuits {
+
+enum class MulArch { kCarrySaveArray, kBooth };
+
+/// Builds an integer multiplier FU with inputs a[width], b[width] and
+/// outputs p[width]. `width` must be even for the Booth architecture.
+netlist::Netlist buildIntMul(int width = 32,
+                             MulArch arch = MulArch::kCarrySaveArray);
+
+}  // namespace tevot::circuits

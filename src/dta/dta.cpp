@@ -1,0 +1,112 @@
+#include "dta/dta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuits/fu.hpp"
+
+namespace tevot::dta {
+
+std::uint64_t DtaSample::latchedWord(double tclk_ps) const {
+  std::uint64_t word = start_word;
+  for (const sim::ToggleEvent& toggle : toggles) {
+    if (toggle.time_ps > tclk_ps) break;
+    const std::uint64_t mask = 1ULL << toggle.output_bit;
+    if (toggle.value) {
+      word |= mask;
+    } else {
+      word &= ~mask;
+    }
+  }
+  return word;
+}
+
+bool DtaSample::timingError(double tclk_ps) const {
+  if (!toggles.empty() || delay_ps == 0.0) {
+    return latchedWord(tclk_ps) != settled_word;
+  }
+  return delay_ps > tclk_ps;
+}
+
+double DtaTrace::maxDelayPs() const {
+  double max_delay = 0.0;
+  for (const DtaSample& sample : samples) {
+    max_delay = std::max(max_delay, sample.delay_ps);
+  }
+  return max_delay;
+}
+
+double DtaTrace::meanDelayPs() const {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const DtaSample& sample : samples) total += sample.delay_ps;
+  return total / static_cast<double>(samples.size());
+}
+
+util::RunningStats DtaTrace::delayStats() const {
+  util::RunningStats stats;
+  for (const DtaSample& sample : samples) stats.add(sample.delay_ps);
+  return stats;
+}
+
+double DtaTrace::timingErrorRate(double tclk_ps) const {
+  if (samples.empty()) return 0.0;
+  std::size_t errors = 0;
+  for (const DtaSample& sample : samples) {
+    if (sample.timingError(tclk_ps)) ++errors;
+  }
+  return static_cast<double>(errors) /
+         static_cast<double>(samples.size());
+}
+
+DtaTrace characterize(const netlist::Netlist& nl,
+                      const liberty::CornerDelays& delays,
+                      const Workload& workload,
+                      const DtaOptions& options) {
+  if (workload.ops.size() < 2) {
+    throw std::invalid_argument(
+        "dta::characterize: workload needs at least two operand pairs");
+  }
+  DtaTrace trace;
+  trace.corner = delays.corner;
+  trace.workload_name = workload.name;
+  trace.samples.reserve(workload.ops.size() - 1);
+
+  sim::TimingSimulator simulator(nl, delays);
+  std::vector<std::uint8_t> input_bits(nl.inputs().size(), 0);
+
+  circuits::encodeOperandsInto(workload.ops[0].a, workload.ops[0].b,
+                               input_bits);
+  simulator.reset(input_bits);
+
+  for (std::size_t i = 1; i < workload.ops.size(); ++i) {
+    const OperandPair& op = workload.ops[i];
+    const OperandPair& prev = workload.ops[i - 1];
+    circuits::encodeOperandsInto(op.a, op.b, input_bits);
+    sim::CycleRecord record = simulator.step(input_bits);
+
+    DtaSample sample;
+    sample.a = op.a;
+    sample.b = op.b;
+    sample.prev_a = prev.a;
+    sample.prev_b = prev.b;
+    sample.delay_ps = record.dynamic_delay_ps;
+    sample.start_word = record.start_word;
+    sample.settled_word = record.settled_word;
+    if (options.keep_toggles) {
+      sample.toggles = std::move(record.output_toggles);
+    }
+    trace.samples.push_back(std::move(sample));
+  }
+  trace.sim_events = simulator.totalEvents();
+  return trace;
+}
+
+double speedupClockPs(double base_clock_ps, double speedup_fraction) {
+  if (speedup_fraction <= -1.0) {
+    throw std::invalid_argument("speedupClockPs: speedup <= -100%");
+  }
+  return base_clock_ps / (1.0 + speedup_fraction);
+}
+
+}  // namespace tevot::dta

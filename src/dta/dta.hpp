@@ -1,0 +1,87 @@
+// Dynamic timing analysis (DTA).
+//
+// Implements the paper's DTA phase: run a workload through the
+// back-annotated timing simulation at one (V,T) corner, record for
+// every cycle the dynamic delay D[t] (last toggle at the register
+// inputs) together with the operand transition that caused it, and
+// keep enough toggle information to reconstruct the word a register
+// bank would latch at any clock period — the per-cycle ground truth
+// for timing errors and for error injection at the application level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dta/workload.hpp"
+#include "liberty/corner.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/timing_sim.hpp"
+#include "util/stats.hpp"
+
+namespace tevot::dta {
+
+/// One characterized cycle: the paper's (x[t], x[t-1], D[t]) row plus
+/// the data needed for per-clock error ground truth.
+struct DtaSample {
+  std::uint32_t a = 0;       ///< current operand A   (part of x[t])
+  std::uint32_t b = 0;       ///< current operand B   (part of x[t])
+  std::uint32_t prev_a = 0;  ///< previous operand A  (part of x[t-1])
+  std::uint32_t prev_b = 0;  ///< previous operand B  (part of x[t-1])
+  double delay_ps = 0.0;     ///< dynamic delay D[t]
+  std::uint64_t start_word = 0;
+  std::uint64_t settled_word = 0;
+  /// Time-ordered output toggles (kept when DtaOptions::keep_toggles).
+  std::vector<sim::ToggleEvent> toggles;
+
+  /// Output word latched at clock period `tclk_ps` (requires toggles).
+  std::uint64_t latchedWord(double tclk_ps) const;
+
+  /// True when latching at `tclk_ps` captures a wrong word. With
+  /// toggles this is the exact stale-value check; without, it falls
+  /// back to the delay criterion D[t] > tclk.
+  bool timingError(double tclk_ps) const;
+};
+
+/// Full per-corner characterization of one workload.
+struct DtaTrace {
+  liberty::Corner corner;
+  std::string workload_name;
+  std::vector<DtaSample> samples;
+  std::uint64_t sim_events = 0;  ///< total simulator events processed
+
+  double maxDelayPs() const;
+  double meanDelayPs() const;
+  util::RunningStats delayStats() const;
+
+  /// Fastest error-free clock period at this corner for this
+  /// workload: the maximum observed dynamic delay (the paper derives
+  /// base clocks the same way, from error-free simulation).
+  double baseClockPs() const { return maxDelayPs(); }
+
+  /// Fraction of cycles with a timing error at clock period tclk.
+  double timingErrorRate(double tclk_ps) const;
+};
+
+struct DtaOptions {
+  /// Keep per-cycle toggle logs (needed for exact latched-value error
+  /// ground truth and error injection). Costs memory on long traces.
+  bool keep_toggles = true;
+};
+
+/// Characterizes `workload` on `nl` annotated with `delays`. The first
+/// operand pair initializes the circuit state; each subsequent pair
+/// produces one DtaSample, so samples.size() == workload.size() - 1.
+DtaTrace characterize(const netlist::Netlist& nl,
+                      const liberty::CornerDelays& delays,
+                      const Workload& workload,
+                      const DtaOptions& options = {});
+
+/// Clock period for a given speedup over a base period: speeding the
+/// clock up by fraction `s` divides the period by (1 + s).
+double speedupClockPs(double base_clock_ps, double speedup_fraction);
+
+/// The paper's three clock speedups (5%, 10%, 15%).
+inline constexpr double kClockSpeedups[3] = {0.05, 0.10, 0.15};
+
+}  // namespace tevot::dta

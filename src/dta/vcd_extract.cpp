@@ -1,0 +1,31 @@
+#include "dta/vcd_extract.hpp"
+
+#include <algorithm>
+
+namespace tevot::dta {
+
+std::vector<double> extractDelaysFromVcd(const vcd::VcdData& data,
+                                         double window_ps,
+                                         std::size_t cycles) {
+  std::vector<double> delays(cycles, 0.0);
+  // Track signal values so redundant (non-toggle) records are ignored.
+  std::vector<char> values(data.signal_names.size(), 0);
+  for (const vcd::Change& change : data.changes) {
+    const bool value = change.value;
+    const bool previous = values[change.signal] != 0;
+    values[change.signal] = value ? 1 : 0;
+    if (value == previous) continue;  // initial-value record, not a toggle
+    const double t = static_cast<double>(change.time_ps);
+    const auto window = static_cast<std::ptrdiff_t>(t / window_ps);
+    // Window 0 holds reset pre-roll activity; dumped cycle k is
+    // window k+1.
+    const std::ptrdiff_t cycle = window - 1;
+    if (cycle < 0 || cycle >= static_cast<std::ptrdiff_t>(cycles)) continue;
+    const double offset = t - static_cast<double>(window) * window_ps;
+    delays[static_cast<std::size_t>(cycle)] =
+        std::max(delays[static_cast<std::size_t>(cycle)], offset);
+  }
+  return delays;
+}
+
+}  // namespace tevot::dta

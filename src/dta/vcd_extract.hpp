@@ -1,0 +1,27 @@
+// Dynamic-delay extraction from VCD files.
+//
+// The paper extracts D[t] by parsing the simulator's VCD dump: "the
+// time of the very last toggled event at the input pins of all
+// sequential elements minus the arrival time of the positive clock
+// edge". This is the C++ equivalent of their Python VCD script, and
+// the file-based integration tests check it agrees cycle for cycle
+// with the in-memory dta::characterize() path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vcd/vcd.hpp"
+
+namespace tevot::dta {
+
+/// Per-cycle dynamic delays recovered from a VCD produced by
+/// sim::dumpWorkloadVcd with cycle window `window_ps`: dumped cycle k
+/// occupies [(k+1)*window, (k+2)*window) (window 0 is the reset
+/// pre-roll). Returns `cycles` delays; cycles with no toggle have
+/// delay 0.
+std::vector<double> extractDelaysFromVcd(const vcd::VcdData& data,
+                                         double window_ps,
+                                         std::size_t cycles);
+
+}  // namespace tevot::dta

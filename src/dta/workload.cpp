@@ -1,0 +1,88 @@
+#include "dta/workload.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace tevot::dta {
+
+Workload randomBitWorkload(std::size_t cycles, util::Rng& rng,
+                           std::string name) {
+  Workload workload;
+  workload.name = std::move(name);
+  workload.ops.reserve(cycles);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    workload.ops.push_back(OperandPair{rng.nextU32(), rng.nextU32()});
+  }
+  return workload;
+}
+
+Workload randomFloatWorkload(std::size_t cycles, util::Rng& rng, int exp_lo,
+                             int exp_hi, std::string name) {
+  if (exp_lo < 1 || exp_hi > 254 || exp_lo > exp_hi) {
+    throw std::invalid_argument("randomFloatWorkload: bad exponent range");
+  }
+  Workload workload;
+  workload.name = std::move(name);
+  workload.ops.reserve(cycles);
+  auto draw = [&]() {
+    const auto exponent =
+        static_cast<std::uint32_t>(rng.nextInRange(exp_lo, exp_hi));
+    const std::uint32_t mantissa = rng.nextU32() & 0x7fffffu;
+    const std::uint32_t sign = rng.nextBool() ? 1u : 0u;
+    return (sign << 31) | (exponent << 23) | mantissa;
+  };
+  for (std::size_t i = 0; i < cycles; ++i) {
+    workload.ops.push_back(OperandPair{draw(), draw()});
+  }
+  return workload;
+}
+
+Workload randomWorkloadFor(circuits::FuKind kind, std::size_t cycles,
+                           util::Rng& rng, std::string name) {
+  switch (kind) {
+    case circuits::FuKind::kIntAdd:
+    case circuits::FuKind::kIntMul:
+      return randomBitWorkload(cycles, rng, std::move(name));
+    case circuits::FuKind::kFpAdd:
+    case circuits::FuKind::kFpMul:
+      return randomFloatWorkload(cycles, rng, 110, 140, std::move(name));
+  }
+  throw std::invalid_argument("randomWorkloadFor: bad kind");
+}
+
+Workload resizeWorkload(const Workload& workload, std::size_t cycles) {
+  if (workload.ops.empty()) {
+    throw std::invalid_argument("resizeWorkload: empty source workload");
+  }
+  Workload out;
+  out.name = workload.name;
+  out.ops.reserve(cycles);
+  if (cycles >= workload.ops.size()) {
+    // Repeat the whole stream.
+    for (std::size_t i = 0; i < cycles; ++i) {
+      out.ops.push_back(workload.ops[i % workload.ops.size()]);
+    }
+    return out;
+  }
+  // Shrinking: take contiguous blocks evenly spread across the
+  // stream. Contiguity preserves the (x[t-1] -> x[t]) transitions the
+  // delays depend on; spreading keeps the sample representative of
+  // the whole stream (a plain prefix would see only the first rows of
+  // an image and badly underestimate the delay tail).
+  const std::size_t blocks = std::min<std::size_t>(16, cycles);
+  const std::size_t block_len = cycles / blocks;
+  const std::size_t stride = workload.ops.size() / blocks;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t start =
+        std::min(b * stride, workload.ops.size() - block_len);
+    const std::size_t want =
+        b + 1 == blocks ? cycles - block_len * (blocks - 1) : block_len;
+    for (std::size_t i = 0; i < want; ++i) {
+      out.ops.push_back(workload.ops[start + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace tevot::dta

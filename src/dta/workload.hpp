@@ -1,0 +1,55 @@
+// Workload streams for dynamic timing analysis.
+//
+// A workload is an ordered stream of operand pairs fed to an FU, one
+// per cycle. Order matters: the paper's key observation is that the
+// dynamic delay depends on the *transition* (x[t-1] -> x[t]), not just
+// the current input. Random workloads reproduce the paper's
+// "homogeneous distribution of two operands over the 2D input space";
+// application workloads are profiled from the image filters (see
+// src/apps/), which the profiler returns in this same format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/fu.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::dta {
+
+struct OperandPair {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<OperandPair> ops;
+
+  std::size_t size() const { return ops.size(); }
+};
+
+/// Uniform random operand bits over the full 2^64 input space — the
+/// paper's random dataset for the integer FUs.
+Workload randomBitWorkload(std::size_t cycles, util::Rng& rng,
+                           std::string name = "random_data");
+
+/// Uniform random *floating-point* operands: random sign/mantissa with
+/// exponent uniform in [exp_lo, exp_hi]. Used as the random dataset
+/// for the FP FUs (bit-uniform patterns would mostly be huge/tiny
+/// magnitudes that exercise only the kill paths).
+Workload randomFloatWorkload(std::size_t cycles, util::Rng& rng,
+                             int exp_lo = 110, int exp_hi = 140,
+                             std::string name = "random_data");
+
+/// The natural random workload for an FU kind: bit-uniform for the
+/// integer units, float-uniform for the FP units.
+Workload randomWorkloadFor(circuits::FuKind kind, std::size_t cycles,
+                           util::Rng& rng,
+                           std::string name = "random_data");
+
+/// Truncates or repeats `workload` to exactly `cycles` operations.
+Workload resizeWorkload(const Workload& workload, std::size_t cycles);
+
+}  // namespace tevot::dta

@@ -1,0 +1,69 @@
+#include "liberty/cell_library.hpp"
+
+namespace tevot::liberty {
+
+using netlist::CellKind;
+
+CellLibrary CellLibrary::defaultLibrary() {
+  CellLibrary lib;
+  // {intrinsic_rise, intrinsic_fall, slope_rise, slope_fall} in ps.
+  // Rise is slightly slower than fall (PMOS weaker than NMOS at equal
+  // width), compound gates slower than simple NAND/NOR, XORs slowest —
+  // the usual standard-cell pecking order.
+  lib.setTiming(CellKind::kConst0, {0.0, 0.0, 0.0, 0.0});
+  lib.setTiming(CellKind::kConst1, {0.0, 0.0, 0.0, 0.0});
+  lib.setTiming(CellKind::kBuf, {12.0, 11.0, 3.5, 3.2});
+  lib.setTiming(CellKind::kInv, {9.0, 8.0, 3.0, 2.7});
+  lib.setTiming(CellKind::kNand2, {13.0, 11.5, 4.2, 3.8});
+  lib.setTiming(CellKind::kNor2, {15.5, 13.0, 4.8, 4.2});
+  lib.setTiming(CellKind::kAnd2, {18.5, 17.0, 4.2, 3.8});
+  lib.setTiming(CellKind::kOr2, {20.0, 18.0, 4.6, 4.0});
+  lib.setTiming(CellKind::kXor2, {27.0, 25.5, 5.6, 5.2});
+  lib.setTiming(CellKind::kXnor2, {27.0, 25.5, 5.6, 5.2});
+  lib.setTiming(CellKind::kNand3, {17.0, 15.0, 5.0, 4.6});
+  lib.setTiming(CellKind::kNor3, {21.0, 17.5, 5.8, 5.0});
+  lib.setTiming(CellKind::kAnd3, {23.0, 21.0, 5.0, 4.6});
+  lib.setTiming(CellKind::kOr3, {26.0, 23.0, 5.4, 4.8});
+  lib.setTiming(CellKind::kXor3, {38.0, 36.0, 6.4, 6.0});
+  lib.setTiming(CellKind::kMux2, {24.0, 22.5, 5.0, 4.6});
+  lib.setTiming(CellKind::kAoi21, {17.5, 15.5, 5.2, 4.7});
+  lib.setTiming(CellKind::kOai21, {17.5, 15.5, 5.2, 4.7});
+  lib.setTiming(CellKind::kMaj3, {26.0, 24.0, 5.6, 5.2});
+
+  // V/T sensitivity deviations. Single-stage simple gates are close
+  // to the library average; stacked/compound cells (XOR, MUX, AOI,
+  // majority) are more velocity-saturation-limited (larger alpha) and
+  // slightly more temperature-sensitive. The spread (within roughly
+  // +-6% of alpha) reorders path delays across corners without
+  // changing nominal-corner timing.
+  lib.setVtSensitivity(CellKind::kBuf, {-0.06, -0.04});
+  lib.setVtSensitivity(CellKind::kInv, {-0.08, -0.05});
+  lib.setVtSensitivity(CellKind::kNand2, {-0.04, -0.02});
+  lib.setVtSensitivity(CellKind::kNor2, {0.02, 0.01});
+  lib.setVtSensitivity(CellKind::kAnd2, {-0.02, -0.01});
+  lib.setVtSensitivity(CellKind::kOr2, {0.01, 0.01});
+  lib.setVtSensitivity(CellKind::kXor2, {0.08, 0.04});
+  lib.setVtSensitivity(CellKind::kXnor2, {0.08, 0.04});
+  lib.setVtSensitivity(CellKind::kNand3, {0.03, 0.02});
+  lib.setVtSensitivity(CellKind::kNor3, {0.06, 0.03});
+  lib.setVtSensitivity(CellKind::kAnd3, {0.02, 0.01});
+  lib.setVtSensitivity(CellKind::kOr3, {0.03, 0.02});
+  lib.setVtSensitivity(CellKind::kXor3, {0.10, 0.05});
+  lib.setVtSensitivity(CellKind::kMux2, {0.05, 0.03});
+  lib.setVtSensitivity(CellKind::kAoi21, {0.04, 0.02});
+  lib.setVtSensitivity(CellKind::kOai21, {0.04, 0.02});
+  lib.setVtSensitivity(CellKind::kMaj3, {0.07, 0.04});
+  return lib;
+}
+
+double CellLibrary::riseDelayPs(CellKind kind, int fanout) const {
+  const CellTiming& t = timing(kind);
+  return t.intrinsic_rise_ps + t.slope_rise_ps * static_cast<double>(fanout);
+}
+
+double CellLibrary::fallDelayPs(CellKind kind, int fanout) const {
+  const CellTiming& t = timing(kind);
+  return t.intrinsic_fall_ps + t.slope_fall_ps * static_cast<double>(fanout);
+}
+
+}  // namespace tevot::liberty

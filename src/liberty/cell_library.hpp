@@ -1,0 +1,66 @@
+// Standard-cell timing library.
+//
+// Plays the role of the TSMC 45 nm .lib in the paper's flow: per-cell
+// intrinsic rise/fall delays plus a linear load (fanout) term, all in
+// picoseconds at the nominal corner. Absolute values are chosen to put
+// 32-bit FU dynamic delays in the few-hundred-ps to ~1.5 ns range the
+// paper reports; only relative relationships matter for the
+// reproduced results.
+#pragma once
+
+#include <array>
+
+#include "netlist/cell.hpp"
+
+namespace tevot::liberty {
+
+/// NLDM-style linear timing arc: delay = intrinsic + slope * fanout.
+struct CellTiming {
+  double intrinsic_rise_ps = 0.0;
+  double intrinsic_fall_ps = 0.0;
+  double slope_rise_ps = 0.0;  ///< per unit of fanout load
+  double slope_fall_ps = 0.0;
+};
+
+/// Per-cell deviation from the library-average V/T sensitivity
+/// (applied on top of VtModel; see VtModel::scaleAdjusted). Taller
+/// transistor stacks see more body effect and velocity saturation, so
+/// complex cells are more voltage-sensitive than inverters; this is
+/// what makes the identity of the longest path corner-dependent.
+struct CellVtSensitivity {
+  double alpha_delta = 0.0;     ///< added to VtParams::alpha
+  double mobility_delta = 0.0;  ///< added to VtParams::mobility_exponent
+};
+
+class CellLibrary {
+ public:
+  /// Library with the built-in default (45 nm-flavored) timings.
+  static CellLibrary defaultLibrary();
+
+  const CellTiming& timing(netlist::CellKind kind) const {
+    return timings_[static_cast<std::size_t>(kind)];
+  }
+
+  void setTiming(netlist::CellKind kind, CellTiming timing) {
+    timings_[static_cast<std::size_t>(kind)] = timing;
+  }
+
+  const CellVtSensitivity& vtSensitivity(netlist::CellKind kind) const {
+    return sensitivities_[static_cast<std::size_t>(kind)];
+  }
+  void setVtSensitivity(netlist::CellKind kind,
+                        CellVtSensitivity sensitivity) {
+    sensitivities_[static_cast<std::size_t>(kind)] = sensitivity;
+  }
+
+  /// Rise/fall delay of a cell driving `fanout` loads, at the nominal
+  /// corner (before V/T scaling).
+  double riseDelayPs(netlist::CellKind kind, int fanout) const;
+  double fallDelayPs(netlist::CellKind kind, int fanout) const;
+
+ private:
+  std::array<CellTiming, netlist::kCellKindCount> timings_{};
+  std::array<CellVtSensitivity, netlist::kCellKindCount> sensitivities_{};
+};
+
+}  // namespace tevot::liberty

@@ -1,0 +1,59 @@
+#include "liberty/corner.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace tevot::liberty {
+
+namespace {
+
+/// Deterministic per-gate standard-normal draw (splitmix64-hashed
+/// gate id, Box-Muller). The same gate always gets the same local
+/// Vth offset — it is a property of the (virtual) silicon instance,
+/// not of the corner being analyzed.
+double gateUnitNormal(netlist::GateId gate, std::uint64_t die_seed) {
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t h1 =
+      mix(gate ^ (die_seed * 0xd1e5eed5d1e5eed5ULL));
+  const std::uint64_t h2 = mix(h1);
+  const double u1 =
+      (static_cast<double>(h1 >> 11) + 0.5) * 0x1.0p-53;  // (0,1)
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+CornerDelays annotateCorner(const netlist::Netlist& nl,
+                            const CellLibrary& library, const VtModel& model,
+                            Corner corner) {
+  const double vth_sigma = model.params().vth_sigma;
+  CornerDelays delays;
+  delays.corner = corner;
+  delays.rise_ps.reserve(nl.gateCount());
+  delays.fall_ps.reserve(nl.gateCount());
+  for (netlist::GateId g = 0; g < nl.gateCount(); ++g) {
+    const netlist::Gate& gate = nl.gate(g);
+    const int fanout = static_cast<int>(nl.fanout(gate.out).size());
+    const CellVtSensitivity& sensitivity = library.vtSensitivity(gate.kind);
+    const double vth_delta =
+        vth_sigma == 0.0
+            ? 0.0
+            : vth_sigma * gateUnitNormal(g, model.params().vth_seed);
+    const double scale = model.scaleWithDeltas(
+        corner.voltage, corner.temperature, sensitivity.alpha_delta,
+        sensitivity.mobility_delta, vth_delta);
+    delays.rise_ps.push_back(library.riseDelayPs(gate.kind, fanout) * scale);
+    delays.fall_ps.push_back(library.fallDelayPs(gate.kind, fanout) * scale);
+  }
+  return delays;
+}
+
+}  // namespace tevot::liberty

@@ -1,0 +1,40 @@
+// Per-(V,T)-corner annotated gate delays.
+//
+// A CornerDelays object is the in-memory equivalent of one SDF file in
+// the paper's flow: for every gate in a specific netlist, the rise and
+// fall delays at one (voltage, temperature) corner. It is produced
+// either directly (annotateCorner) or by parsing an SDF file written
+// by sdf::writeSdf — both paths yield identical numbers, which the
+// integration tests check.
+#pragma once
+
+#include <vector>
+
+#include "liberty/cell_library.hpp"
+#include "liberty/vt_model.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tevot::liberty {
+
+/// Operating corner description.
+struct Corner {
+  double voltage = 1.00;    ///< [V]
+  double temperature = 25;  ///< [deg C]
+};
+
+/// Per-gate delays (index by GateId), picoseconds.
+struct CornerDelays {
+  Corner corner;
+  std::vector<double> rise_ps;
+  std::vector<double> fall_ps;
+
+  std::size_t gateCount() const { return rise_ps.size(); }
+};
+
+/// Computes annotated delays for every gate of `nl` at `corner`:
+/// (library NLDM delay at the gate's fanout) x (VtModel scale factor).
+CornerDelays annotateCorner(const netlist::Netlist& nl,
+                            const CellLibrary& library, const VtModel& model,
+                            Corner corner);
+
+}  // namespace tevot::liberty

@@ -1,0 +1,42 @@
+// Liberty (.lib) writer and parser for the cell timing library.
+//
+// Serializes the CellLibrary (plus the VtModel parameters) as a
+// Liberty-style text library using the classic generic-CMOS delay
+// attributes: per output pin, `intrinsic_rise`/`intrinsic_fall` and
+// `rise_resistance`/`fall_resistance` (the per-fanout slope, with a
+// unit load per fanin pin). The V/T model parameters and per-cell
+// sensitivity deltas travel as `tevot_*` user attributes, which the
+// Liberty grammar permits. Round-trips bit-exactly.
+//
+// Supported subset: one `library` group; scalar `name : value;`
+// attributes; `cell`/`pin`/`timing` groups; /* block */ and
+// unparenthesized attribute values. Lookup tables (NLDM) and anything
+// else are rejected with a diagnostic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/cell_library.hpp"
+#include "liberty/vt_model.hpp"
+
+namespace tevot::liberty {
+
+struct LibertyLibrary {
+  std::string name = "tevot45";
+  CellLibrary cells;
+  VtParams vt_params;
+};
+
+void writeLiberty(std::ostream& os, const LibertyLibrary& library);
+std::string toLibertyString(const LibertyLibrary& library);
+void writeLibertyFile(const std::string& path,
+                      const LibertyLibrary& library);
+
+/// Parses the subset written by writeLiberty. Cells missing from the
+/// file keep zeroed timing; unknown cells are rejected.
+LibertyLibrary parseLiberty(std::istream& is);
+LibertyLibrary parseLibertyString(const std::string& text);
+LibertyLibrary parseLibertyFile(const std::string& path);
+
+}  // namespace tevot::liberty

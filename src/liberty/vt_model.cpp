@@ -1,0 +1,81 @@
+#include "liberty/vt_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tevot::liberty {
+namespace {
+
+constexpr double kKelvinOffset = 273.15;
+
+}  // namespace
+
+VtModel::VtModel(VtParams params) : params_(params), nominal_raw_(0.0) {
+  nominal_raw_ = rawDelay(params_.vnom, params_.tnom_c);
+}
+
+double VtModel::vth(double t_c) const {
+  return params_.vth0 + params_.dvth_dt * (t_c - params_.tnom_c);
+}
+
+double VtModel::rawDelay(double v, double t_c) const {
+  const double vth_t = vth(t_c);
+  const double overdrive = v - vth_t;
+  if (overdrive <= 0.0) {
+    throw std::domain_error(
+        "VtModel: supply voltage at or below threshold; cell cannot switch");
+  }
+  const double tk = t_c + kKelvinOffset;
+  const double tk_nom = params_.tnom_c + kKelvinOffset;
+  const double mobility = std::pow(tk / tk_nom, -params_.mobility_exponent);
+  return v / (mobility * std::pow(overdrive, params_.alpha));
+}
+
+double VtModel::scale(double v, double t_c) const {
+  return rawDelay(v, t_c) / nominal_raw_;
+}
+
+double VtModel::scaleAdjusted(double v, double t_c, double alpha_delta,
+                              double mobility_delta) const {
+  return scaleWithDeltas(v, t_c, alpha_delta, mobility_delta, 0.0);
+}
+
+double VtModel::scaleWithDeltas(double v, double t_c, double alpha_delta,
+                                double mobility_delta,
+                                double vth_delta) const {
+  if (alpha_delta == 0.0 && mobility_delta == 0.0 && vth_delta == 0.0) {
+    return scale(v, t_c);
+  }
+  VtParams adjusted = params_;
+  adjusted.alpha += alpha_delta;
+  adjusted.mobility_exponent += mobility_delta;
+  adjusted.vth0 += vth_delta;
+  const VtModel adjusted_model(adjusted);
+  return adjusted_model.scale(v, t_c);
+}
+
+double VtModel::itdCrossoverVoltage(double t_c) const {
+  // The crossover is where d(delay)/dT == 0. Bisect on the sign of a
+  // small finite difference; delay(T) sensitivity is monotone in V for
+  // this model within the operating window.
+  const double dt = 1.0;
+  auto temp_slope = [&](double v) {
+    return scale(v, t_c + dt) - scale(v, t_c - dt);
+  };
+  double lo = vth(t_c + dt) + 0.02;  // just above threshold: slope < 0
+  double hi = 2.0;                   // far above threshold: slope > 0
+  if (temp_slope(lo) > 0.0 || temp_slope(hi) < 0.0) {
+    throw std::logic_error("VtModel: no ITD crossover in search window");
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (temp_slope(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace tevot::liberty

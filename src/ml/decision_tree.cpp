@@ -1,0 +1,273 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tevot::ml {
+namespace {
+
+/// Node-impurity bookkeeping shared by both tasks. For classification
+/// (binary labels) `sum` counts positives and the score is the Gini
+/// impurity times count; for regression the score is the sum of
+/// squared deviations (both are "total impurity" measures that a
+/// split should minimize, summed over children).
+struct LabelStats {
+  double count = 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+
+  void add(float y) {
+    count += 1.0;
+    sum += y;
+    sumsq += static_cast<double>(y) * y;
+  }
+  void remove(float y) {
+    count -= 1.0;
+    sum -= y;
+    sumsq -= static_cast<double>(y) * y;
+  }
+
+  double impurity(TreeTask task) const {
+    if (count <= 0.0) return 0.0;
+    if (task == TreeTask::kClassification) {
+      const double p = sum / count;
+      return count * 2.0 * p * (1.0 - p);  // count * Gini (binary)
+    }
+    return sumsq - sum * sum / count;  // total squared deviation
+  }
+
+  float leafValue(TreeTask task) const {
+    if (count <= 0.0) return 0.0f;
+    const double mean = sum / count;
+    if (task == TreeTask::kClassification) {
+      return mean >= 0.5 ? 1.0f : 0.0f;
+    }
+    return static_cast<float>(mean);
+  }
+};
+
+struct BestSplit {
+  int feature = -1;
+  float threshold = 0.0f;
+  double score = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, TreeTask task,
+                       const TreeParams& params, util::Rng& rng,
+                       std::span<const std::size_t> indices) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("DecisionTree::fit: empty dataset");
+  }
+  if (task == TreeTask::kClassification) {
+    for (const float label : data.y) {
+      if (label != 0.0f && label != 1.0f) {
+        throw std::invalid_argument(
+            "DecisionTree::fit: classification labels must be 0/1");
+      }
+    }
+  }
+  std::vector<std::size_t> all;
+  if (indices.empty()) {
+    all.resize(data.size());
+    std::iota(all.begin(), all.end(), 0);
+    indices = all;
+  }
+  nodes_.clear();
+  importance_raw_.assign(data.features(), 0.0);
+
+  const std::size_t n_features = data.features();
+  std::vector<int> feature_pool(n_features);
+  std::iota(feature_pool.begin(), feature_pool.end(), 0);
+
+  // Work stack of (node slot, index range into `working`, depth).
+  std::vector<std::size_t> working(indices.begin(), indices.end());
+  struct WorkItem {
+    std::int32_t node;
+    std::size_t begin;
+    std::size_t end;
+    int depth;
+  };
+  std::vector<WorkItem> stack;
+  nodes_.emplace_back();
+  stack.push_back({0, 0, working.size(), 0});
+
+  std::vector<std::pair<float, float>> scratch;  // (feature value, label)
+
+  while (!stack.empty()) {
+    const WorkItem item = stack.back();
+    stack.pop_back();
+    const std::size_t n = item.end - item.begin;
+    const std::span<std::size_t> rows{working.data() + item.begin, n};
+
+    LabelStats node_stats;
+    for (const std::size_t row : rows) node_stats.add(data.y[row]);
+    const double node_impurity = node_stats.impurity(task);
+
+    Node& node = nodes_[static_cast<std::size_t>(item.node)];
+    node.value = node_stats.leafValue(task);
+
+    const bool depth_ok =
+        params.max_depth < 0 || item.depth < params.max_depth;
+    if (!depth_ok || n < static_cast<std::size_t>(params.min_samples_split) ||
+        node_impurity <= 1e-12) {
+      continue;  // leaf
+    }
+
+    // Candidate features: all, or a random subset per split.
+    int n_candidates = static_cast<int>(n_features);
+    if (params.max_features >= 0 &&
+        params.max_features < n_candidates) {
+      // Partial Fisher-Yates for the first max_features entries.
+      for (int i = 0; i < params.max_features; ++i) {
+        const auto j = static_cast<std::size_t>(
+            rng.nextInRange(i, static_cast<int>(n_features) - 1));
+        std::swap(feature_pool[static_cast<std::size_t>(i)],
+                  feature_pool[j]);
+      }
+      n_candidates = params.max_features;
+    }
+
+    BestSplit best;
+    const auto min_leaf = static_cast<double>(params.min_samples_leaf);
+    for (int c = 0; c < n_candidates; ++c) {
+      const int feature = feature_pool[static_cast<std::size_t>(c)];
+      const auto fcol = static_cast<std::size_t>(feature);
+
+      // Fast path: binary feature column.
+      bool is_binary = true;
+      LabelStats left, right;
+      for (const std::size_t row : rows) {
+        const float v = data.x.at(row, fcol);
+        if (v == 0.0f) {
+          left.add(data.y[row]);
+        } else if (v == 1.0f) {
+          right.add(data.y[row]);
+        } else {
+          is_binary = false;
+          break;
+        }
+      }
+      if (is_binary) {
+        if (left.count < min_leaf || right.count < min_leaf) continue;
+        const double score = left.impurity(task) + right.impurity(task);
+        if (score < best.score) {
+          best = BestSplit{feature, 0.5f, score};
+        }
+        continue;
+      }
+
+      // General path: sort and scan between distinct values.
+      scratch.clear();
+      scratch.reserve(n);
+      for (const std::size_t row : rows) {
+        scratch.emplace_back(data.x.at(row, fcol), data.y[row]);
+      }
+      std::sort(scratch.begin(), scratch.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      LabelStats lo;
+      LabelStats hi = node_stats;
+      for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+        lo.add(scratch[i].second);
+        hi.remove(scratch[i].second);
+        if (scratch[i].first == scratch[i + 1].first) continue;
+        if (lo.count < min_leaf || hi.count < min_leaf) continue;
+        const double score = lo.impurity(task) + hi.impurity(task);
+        if (score < best.score) {
+          best.feature = feature;
+          best.threshold =
+              0.5f * (scratch[i].first + scratch[i + 1].first);
+          best.score = score;
+        }
+      }
+    }
+
+    // Accept the best split even at zero impurity gain (as sklearn's
+    // CART does): XOR-like interactions only pay off one level down,
+    // so requiring strictly positive gain would leave them
+    // unlearnable. Termination is still guaranteed because both
+    // children are strictly smaller. Only strictly *worse* splits —
+    // which the scan cannot produce — are rejected.
+    if (best.feature < 0 || best.score > node_impurity + 1e-9) {
+      continue;  // no valid split found
+    }
+
+    // Partition rows in place.
+    const auto fcol = static_cast<std::size_t>(best.feature);
+    auto mid_it = std::partition(
+        working.begin() + static_cast<std::ptrdiff_t>(item.begin),
+        working.begin() + static_cast<std::ptrdiff_t>(item.end),
+        [&](std::size_t row) {
+          return data.x.at(row, fcol) <= best.threshold;
+        });
+    const auto mid = static_cast<std::size_t>(
+        mid_it - working.begin());
+    if (mid == item.begin || mid == item.end) continue;  // degenerate
+
+    importance_raw_[static_cast<std::size_t>(best.feature)] +=
+        node_impurity - best.score;
+
+    const auto left_slot = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    const auto right_slot = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node& parent = nodes_[static_cast<std::size_t>(item.node)];
+    parent.feature = best.feature;
+    parent.threshold = best.threshold;
+    parent.left = left_slot;
+    parent.right = right_slot;
+    stack.push_back({left_slot, item.begin, mid, item.depth + 1});
+    stack.push_back({right_slot, mid, item.end, item.depth + 1});
+  }
+}
+
+float DecisionTree::predict(std::span<const float> features) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict: not fitted");
+  }
+  std::size_t at = 0;
+  for (;;) {
+    const Node& node = nodes_[at];
+    if (node.feature < 0) return node.value;
+    const float v = features[static_cast<std::size_t>(node.feature)];
+    at = static_cast<std::size_t>(v <= node.threshold ? node.left
+                                                      : node.right);
+  }
+}
+
+std::vector<double> DecisionTree::featureImportance(
+    std::size_t n_features) const {
+  std::vector<double> importance(n_features, 0.0);
+  double total = 0.0;
+  for (std::size_t f = 0; f < importance_raw_.size() && f < n_features;
+       ++f) {
+    importance[f] = importance_raw_[f];
+    total += importance_raw_[f];
+  }
+  if (total > 0.0) {
+    for (double& value : importance) value /= total;
+  }
+  return importance;
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Nodes are appended parent-first, so a forward scan can compute
+  // depths in one pass.
+  std::vector<int> depth_of(nodes_.size(), 1);
+  int deepest = 1;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.feature < 0) continue;
+    depth_of[static_cast<std::size_t>(node.left)] = depth_of[i] + 1;
+    depth_of[static_cast<std::size_t>(node.right)] = depth_of[i] + 1;
+    deepest = std::max(deepest, depth_of[i] + 1);
+  }
+  return deepest;
+}
+
+}  // namespace tevot::ml

@@ -1,0 +1,112 @@
+#include "ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace tevot::ml {
+namespace {
+
+void checkSizes(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+  }
+}
+
+}  // namespace
+
+double accuracy(std::span<const float> predicted,
+                std::span<const float> truth) {
+  checkSizes(predicted, truth);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+BinaryConfusion binaryConfusion(std::span<const float> predicted,
+                                std::span<const float> truth) {
+  checkSizes(predicted, truth);
+  BinaryConfusion confusion;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool pred = predicted[i] != 0.0f;
+    const bool real = truth[i] != 0.0f;
+    if (pred && real) {
+      ++confusion.true_positive;
+    } else if (!pred && !real) {
+      ++confusion.true_negative;
+    } else if (pred) {
+      ++confusion.false_positive;
+    } else {
+      ++confusion.false_negative;
+    }
+  }
+  return confusion;
+}
+
+double BinaryConfusion::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double BinaryConfusion::precision() const {
+  const std::size_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double BinaryConfusion::recall() const {
+  const std::size_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double BinaryConfusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double meanSquaredError(std::span<const float> predicted,
+                        std::span<const float> truth) {
+  checkSizes(predicted, truth);
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double diff = static_cast<double>(predicted[i]) - truth[i];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double meanAbsoluteError(std::span<const float> predicted,
+                         std::span<const float> truth) {
+  checkSizes(predicted, truth);
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double diff = static_cast<double>(predicted[i]) - truth[i];
+    total += diff < 0 ? -diff : diff;
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+double r2Score(std::span<const float> predicted,
+               std::span<const float> truth) {
+  checkSizes(predicted, truth);
+  double mean = 0.0;
+  for (const float value : truth) mean += value;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double res = static_cast<double>(truth[i]) - predicted[i];
+    const double dev = static_cast<double>(truth[i]) - mean;
+    ss_res += res * res;
+    ss_tot += dev * dev;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace tevot::ml

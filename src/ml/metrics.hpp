@@ -1,0 +1,43 @@
+// Evaluation metrics for the model-comparison experiments (paper
+// Table II / III / IV all report accuracies; delay regression quality
+// is tracked with MSE/MAE/R^2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace tevot::ml {
+
+/// Fraction of predictions equal to the label (exact float compare —
+/// classification labels are small integers stored in float).
+double accuracy(std::span<const float> predicted,
+                std::span<const float> truth);
+
+struct BinaryConfusion {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+};
+
+/// Confusion counts for binary labels (positive class == 1).
+BinaryConfusion binaryConfusion(std::span<const float> predicted,
+                                std::span<const float> truth);
+
+double meanSquaredError(std::span<const float> predicted,
+                        std::span<const float> truth);
+double meanAbsoluteError(std::span<const float> predicted,
+                         std::span<const float> truth);
+/// Coefficient of determination; 1 = perfect, 0 = mean predictor.
+double r2Score(std::span<const float> predicted,
+               std::span<const float> truth);
+
+}  // namespace tevot::ml

@@ -1,0 +1,100 @@
+#include "ml/random_forest.hpp"
+
+#include <stdexcept>
+
+namespace tevot::ml {
+namespace {
+
+std::vector<DecisionTree> fitForest(const Dataset& data, TreeTask task,
+                                    const ForestParams& params,
+                                    util::Rng& rng) {
+  if (params.n_trees <= 0) {
+    throw std::invalid_argument("fitForest: n_trees must be positive");
+  }
+  std::vector<DecisionTree> trees(static_cast<std::size_t>(params.n_trees));
+  std::vector<std::size_t> sample(data.size());
+  for (DecisionTree& tree : trees) {
+    if (params.bootstrap) {
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        sample[i] = rng.nextBelow(data.size());
+      }
+      tree.fit(data, task, params.tree, rng, sample);
+    } else {
+      tree.fit(data, task, params.tree, rng);
+    }
+  }
+  return trees;
+}
+
+}  // namespace
+
+void RandomForestClassifier::fit(const Dataset& data,
+                                 const ForestParams& params,
+                                 util::Rng& rng) {
+  trees_ = fitForest(data, TreeTask::kClassification, params, rng);
+}
+
+double RandomForestClassifier::predictProbability(
+    std::span<const float> features) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForestClassifier: not fitted");
+  }
+  double votes = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    votes += tree.predict(features);
+  }
+  return votes / static_cast<double>(trees_.size());
+}
+
+float RandomForestClassifier::predict(std::span<const float> features) const {
+  return predictProbability(features) >= 0.5 ? 1.0f : 0.0f;
+}
+
+std::vector<float> RandomForestClassifier::predictBatch(
+    const Matrix& x) const {
+  std::vector<float> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+void RandomForestRegressor::fit(const Dataset& data,
+                                const ForestParams& params, util::Rng& rng) {
+  trees_ = fitForest(data, TreeTask::kRegression, params, rng);
+}
+
+float RandomForestRegressor::predict(std::span<const float> features) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForestRegressor: not fitted");
+  }
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    total += tree.predict(features);
+  }
+  return static_cast<float>(total / static_cast<double>(trees_.size()));
+}
+
+std::vector<float> RandomForestRegressor::predictBatch(const Matrix& x) const {
+  std::vector<float> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+  return out;
+}
+
+std::vector<double> forestFeatureImportance(
+    std::span<const DecisionTree> trees, std::size_t n_features) {
+  std::vector<double> total(n_features, 0.0);
+  for (const DecisionTree& tree : trees) {
+    const std::vector<double> per_tree =
+        tree.featureImportance(n_features);
+    for (std::size_t f = 0; f < n_features; ++f) total[f] += per_tree[f];
+  }
+  double sum = 0.0;
+  for (const double value : total) sum += value;
+  if (sum > 0.0) {
+    for (double& value : total) value /= sum;
+  }
+  return total;
+}
+
+}  // namespace tevot::ml

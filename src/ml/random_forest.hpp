@@ -1,0 +1,66 @@
+// Random forests — the learner the paper selects for TEVoT.
+//
+// Bagged CART trees with majority vote (classification) or averaging
+// (regression). Defaults mirror the paper's stated sklearn
+// configuration: 10 trees, all features considered at every split,
+// bootstrap sampling.
+#pragma once
+
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace tevot::ml {
+
+struct ForestParams {
+  int n_trees = 10;       ///< sklearn 0.x default, as used in the paper
+  TreeParams tree;        ///< per-tree parameters (all-features default)
+  bool bootstrap = true;  ///< sample rows with replacement per tree
+};
+
+class RandomForestClassifier {
+ public:
+  void fit(const Dataset& data, const ForestParams& params, util::Rng& rng);
+
+  /// Majority-vote class (binary 0/1).
+  float predict(std::span<const float> features) const;
+  /// Fraction of trees voting class 1.
+  double predictProbability(std::span<const float> features) const;
+  std::vector<float> predictBatch(const Matrix& x) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  std::span<const DecisionTree> trees() const { return trees_; }
+  void setTrees(std::vector<DecisionTree> trees) {
+    trees_ = std::move(trees);
+  }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+class RandomForestRegressor {
+ public:
+  void fit(const Dataset& data, const ForestParams& params, util::Rng& rng);
+
+  /// Mean of per-tree predictions.
+  float predict(std::span<const float> features) const;
+  std::vector<float> predictBatch(const Matrix& x) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  std::span<const DecisionTree> trees() const { return trees_; }
+  void setTrees(std::vector<DecisionTree> trees) {
+    trees_ = std::move(trees);
+  }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+/// Forest-level feature importance: mean of the per-tree normalized
+/// impurity decreases, renormalized to sum to 1 — the interpretability
+/// facility the paper credits random forests with ("it can interpret
+/// the significance disparity between different features").
+std::vector<double> forestFeatureImportance(
+    std::span<const DecisionTree> trees, std::size_t n_features);
+
+}  // namespace tevot::ml

@@ -1,0 +1,117 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tevot::ml {
+namespace {
+
+void writeTrees(std::ostream& os, std::span<const DecisionTree> trees,
+                const char* task) {
+  os << "tevot-forest v1 " << task << " " << trees.size() << "\n";
+  os.precision(9);  // float round-trip
+  for (const DecisionTree& tree : trees) {
+    const auto nodes = tree.nodes();
+    os << "tree " << nodes.size() << "\n";
+    for (const DecisionTree::Node& node : nodes) {
+      os << node.feature << " " << node.threshold << " " << node.left
+         << " " << node.right << " " << node.value << "\n";
+    }
+  }
+}
+
+std::vector<DecisionTree> readTrees(std::istream& is,
+                                    const std::string& expected_task) {
+  std::string magic, version, task;
+  std::size_t n_trees = 0;
+  if (!(is >> magic >> version >> task >> n_trees) ||
+      magic != "tevot-forest" || version != "v1") {
+    throw std::runtime_error("loadForest: bad header");
+  }
+  if (task != expected_task) {
+    throw std::runtime_error("loadForest: task mismatch (file holds a " +
+                             task + ")");
+  }
+  std::vector<DecisionTree> trees(n_trees);
+  for (DecisionTree& tree : trees) {
+    std::string keyword;
+    std::size_t n_nodes = 0;
+    if (!(is >> keyword >> n_nodes) || keyword != "tree") {
+      throw std::runtime_error("loadForest: expected tree header");
+    }
+    std::vector<DecisionTree::Node> nodes(n_nodes);
+    for (DecisionTree::Node& node : nodes) {
+      if (!(is >> node.feature >> node.threshold >> node.left >>
+            node.right >> node.value)) {
+        throw std::runtime_error("loadForest: truncated node list");
+      }
+      const auto count = static_cast<std::int32_t>(n_nodes);
+      const bool leaf = node.feature < 0;
+      if (!leaf && (node.left < 0 || node.left >= count ||
+                    node.right < 0 || node.right >= count)) {
+        throw std::runtime_error("loadForest: child index out of range");
+      }
+    }
+    if (nodes.empty()) {
+      throw std::runtime_error("loadForest: empty tree");
+    }
+    tree.setNodes(std::move(nodes));
+  }
+  return trees;
+}
+
+}  // namespace
+
+void saveForest(std::ostream& os, const RandomForestClassifier& forest) {
+  writeTrees(os, forest.trees(), "classifier");
+}
+
+void saveForest(std::ostream& os, const RandomForestRegressor& forest) {
+  writeTrees(os, forest.trees(), "regressor");
+}
+
+RandomForestClassifier loadForestClassifier(std::istream& is) {
+  RandomForestClassifier forest;
+  forest.setTrees(readTrees(is, "classifier"));
+  return forest;
+}
+
+RandomForestRegressor loadForestRegressor(std::istream& is) {
+  RandomForestRegressor forest;
+  forest.setTrees(readTrees(is, "regressor"));
+  return forest;
+}
+
+void saveForestFile(const std::string& path,
+                    const RandomForestClassifier& forest) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("saveForestFile: cannot open " + path);
+  saveForest(os, forest);
+}
+
+void saveForestFile(const std::string& path,
+                    const RandomForestRegressor& forest) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("saveForestFile: cannot open " + path);
+  saveForest(os, forest);
+}
+
+RandomForestClassifier loadForestClassifierFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("loadForestClassifierFile: cannot open " + path);
+  }
+  return loadForestClassifier(is);
+}
+
+RandomForestRegressor loadForestRegressorFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("loadForestRegressorFile: cannot open " + path);
+  }
+  return loadForestRegressor(is);
+}
+
+}  // namespace tevot::ml

@@ -1,0 +1,37 @@
+// Forest model serialization.
+//
+// The paper promises to "open-source the pre-trained models"; this is
+// the corresponding facility: a plain-text format for random forests
+// (both tasks) so trained TEVoT models can be saved and reloaded
+// without retraining.
+//
+// Format:
+//   tevot-forest v1 <classifier|regressor> <n_trees>
+//   tree <n_nodes>
+//   <feature> <threshold> <left> <right> <value>     (one line per node)
+//   ...
+// Thresholds/values are printed with round-trip precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/random_forest.hpp"
+
+namespace tevot::ml {
+
+void saveForest(std::ostream& os, const RandomForestClassifier& forest);
+void saveForest(std::ostream& os, const RandomForestRegressor& forest);
+
+/// Throws std::runtime_error on malformed input or task mismatch.
+RandomForestClassifier loadForestClassifier(std::istream& is);
+RandomForestRegressor loadForestRegressor(std::istream& is);
+
+void saveForestFile(const std::string& path,
+                    const RandomForestClassifier& forest);
+void saveForestFile(const std::string& path,
+                    const RandomForestRegressor& forest);
+RandomForestClassifier loadForestClassifierFile(const std::string& path);
+RandomForestRegressor loadForestRegressorFile(const std::string& path);
+
+}  // namespace tevot::ml

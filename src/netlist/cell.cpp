@@ -1,0 +1,99 @@
+#include "netlist/cell.hpp"
+
+#include <array>
+
+namespace tevot::netlist {
+namespace {
+
+struct CellInfo {
+  std::string_view name;
+  int fanin;
+};
+
+constexpr std::array<CellInfo, kCellKindCount> kCellTable = {{
+    {"CONST0", 0},
+    {"CONST1", 0},
+    {"BUF", 1},
+    {"INV", 1},
+    {"AND2", 2},
+    {"OR2", 2},
+    {"NAND2", 2},
+    {"NOR2", 2},
+    {"XOR2", 2},
+    {"XNOR2", 2},
+    {"AND3", 3},
+    {"OR3", 3},
+    {"NAND3", 3},
+    {"NOR3", 3},
+    {"XOR3", 3},
+    {"MUX2", 3},
+    {"AOI21", 3},
+    {"OAI21", 3},
+    {"MAJ3", 3},
+}};
+
+}  // namespace
+
+int cellFanin(CellKind kind) {
+  return kCellTable[static_cast<std::size_t>(kind)].fanin;
+}
+
+std::string_view cellName(CellKind kind) {
+  return kCellTable[static_cast<std::size_t>(kind)].name;
+}
+
+bool cellFromName(std::string_view name, CellKind& kind) {
+  for (std::size_t i = 0; i < kCellTable.size(); ++i) {
+    if (kCellTable[i].name == name) {
+      kind = static_cast<CellKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool evalCell(CellKind kind, bool a, bool b, bool c) {
+  switch (kind) {
+    case CellKind::kConst0:
+      return false;
+    case CellKind::kConst1:
+      return true;
+    case CellKind::kBuf:
+      return a;
+    case CellKind::kInv:
+      return !a;
+    case CellKind::kAnd2:
+      return a && b;
+    case CellKind::kOr2:
+      return a || b;
+    case CellKind::kNand2:
+      return !(a && b);
+    case CellKind::kNor2:
+      return !(a || b);
+    case CellKind::kXor2:
+      return a != b;
+    case CellKind::kXnor2:
+      return a == b;
+    case CellKind::kAnd3:
+      return a && b && c;
+    case CellKind::kOr3:
+      return a || b || c;
+    case CellKind::kNand3:
+      return !(a && b && c);
+    case CellKind::kNor3:
+      return !(a || b || c);
+    case CellKind::kXor3:
+      return (a != b) != c;
+    case CellKind::kMux2:
+      return c ? b : a;
+    case CellKind::kAoi21:
+      return !((a && b) || c);
+    case CellKind::kOai21:
+      return !((a || b) && c);
+    case CellKind::kMaj3:
+      return (a && b) || (a && c) || (b && c);
+  }
+  return false;
+}
+
+}  // namespace tevot::netlist

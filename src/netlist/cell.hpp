@@ -1,0 +1,51 @@
+// Primitive standard-cell kinds.
+//
+// The circuit generators build all four functional units from this
+// fixed cell set; the timing library (src/liberty) attaches per-kind
+// delays. Mirrors a small combinational subset of a commercial
+// standard-cell library (inverters, 2/3-input simple gates, mux,
+// and-or-invert / or-and-invert compounds, majority).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tevot::netlist {
+
+enum class CellKind : std::uint8_t {
+  kConst0,  ///< constant logic 0 (no inputs)
+  kConst1,  ///< constant logic 1 (no inputs)
+  kBuf,     ///< buffer
+  kInv,     ///< inverter
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kAnd3,
+  kOr3,
+  kNand3,
+  kNor3,
+  kXor3,
+  kMux2,   ///< in0 when sel==0, in1 when sel==1; inputs (a, b, sel)
+  kAoi21,  ///< !((a & b) | c)
+  kOai21,  ///< !((a | b) & c)
+  kMaj3,   ///< majority(a, b, c) — full-adder carry
+};
+
+inline constexpr int kCellKindCount = 19;
+
+/// Number of input pins for a cell kind.
+int cellFanin(CellKind kind);
+
+/// Human-readable cell name (e.g. "NAND2"), used in SDF/VCD/DOT output.
+std::string_view cellName(CellKind kind);
+
+/// Parses a name produced by cellName(); returns false on failure.
+bool cellFromName(std::string_view name, CellKind& kind);
+
+/// Evaluates the boolean function of a cell. Unused inputs must be 0.
+bool evalCell(CellKind kind, bool a, bool b = false, bool c = false);
+
+}  // namespace tevot::netlist

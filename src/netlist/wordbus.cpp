@@ -1,0 +1,87 @@
+#include "netlist/wordbus.hpp"
+
+#include <stdexcept>
+
+namespace tevot::netlist {
+
+Bus addInputBus(Netlist& nl, const std::string& name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(nl.addInput(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+void markOutputBus(Netlist& nl, const Bus& bus, const std::string& name) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    nl.markOutput(bus[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+Bus constBus(Netlist& nl, std::uint64_t value, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(nl.addConst(((value >> i) & 1ULL) != 0));
+  }
+  return bus;
+}
+
+Bus slice(const Bus& bus, int lo, int width) {
+  if (lo < 0 || lo + width > static_cast<int>(bus.size())) {
+    throw std::out_of_range("slice: range outside bus");
+  }
+  return Bus(bus.begin() + lo, bus.begin() + lo + width);
+}
+
+Bus zeroExtend(Netlist& nl, const Bus& bus, int width) {
+  Bus out = bus;
+  if (static_cast<int>(out.size()) > width) {
+    out.resize(static_cast<std::size_t>(width));
+    return out;
+  }
+  while (static_cast<int>(out.size()) < width) {
+    out.push_back(nl.addConst(false));
+  }
+  return out;
+}
+
+Bus concat(const Bus& lo, const Bus& hi) {
+  Bus out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Bus mapInv(Netlist& nl, const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NetId bit : a) out.push_back(nl.addGate1(CellKind::kInv, bit));
+  return out;
+}
+
+Bus mapGate2(Netlist& nl, CellKind kind, const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("mapGate2: width mismatch");
+  }
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(nl.addGate2(kind, a[i], b[i]));
+  }
+  return out;
+}
+
+Bus mux2(Netlist& nl, const Bus& a, const Bus& b, NetId sel) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("mux2: width mismatch");
+  }
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(nl.addGate3(CellKind::kMux2, a[i], b[i], sel));
+  }
+  return out;
+}
+
+}  // namespace tevot::netlist

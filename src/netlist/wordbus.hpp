@@ -1,0 +1,42 @@
+// Multi-bit bus helpers for the structural circuit generators.
+//
+// A Bus is simply an ordered list of nets, LSB first. These helpers
+// keep generator code close to RTL pseudocode: declare input words,
+// mark output words, slice, pad.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tevot::netlist {
+
+using Bus = std::vector<NetId>;
+
+/// Declares `width` primary inputs named `name[0..width)`, LSB first.
+Bus addInputBus(Netlist& nl, const std::string& name, int width);
+
+/// Marks every bit of `bus` as a primary output named `name[i]`.
+void markOutputBus(Netlist& nl, const Bus& bus, const std::string& name);
+
+/// Bus of constant bits equal to the low `width` bits of `value`.
+Bus constBus(Netlist& nl, std::uint64_t value, int width);
+
+/// Slice [lo, lo+width) of a bus.
+Bus slice(const Bus& bus, int lo, int width);
+
+/// Zero-extends (or truncates) a bus to `width` bits.
+Bus zeroExtend(Netlist& nl, const Bus& bus, int width);
+
+/// Concatenates buses, `lo` first (result LSB = lo[0]).
+Bus concat(const Bus& lo, const Bus& hi);
+
+/// Bitwise unary/binary map helpers.
+Bus mapInv(Netlist& nl, const Bus& a);
+Bus mapGate2(Netlist& nl, CellKind kind, const Bus& a, const Bus& b);
+
+/// Per-bit 2:1 mux: result = sel ? b : a (one MUX2 per bit).
+Bus mux2(Netlist& nl, const Bus& a, const Bus& b, NetId sel);
+
+}  // namespace tevot::netlist

@@ -1,0 +1,37 @@
+// Glue between the timing simulator and the VCD writer.
+//
+// Reproduces the paper's "gate-level simulation -> VCD file" step:
+// runs a workload stream through a TimingSimulator and dumps the
+// switching activity of the observed nets (by default the primary
+// outputs, i.e. the sequential-element inputs the paper monitors).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "liberty/corner.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tevot::sim {
+
+struct VcdDumpOptions {
+  /// Cycle spacing in the dump; must exceed the circuit's settle time
+  /// (the characterization clock period).
+  double window_ps = 10000.0;
+  /// When true, every net is dumped; otherwise only primary outputs.
+  bool all_nets = false;
+};
+
+/// Simulates `workload` (one input vector per cycle; the first vector
+/// is used for reset/initialization and does not produce a dumped
+/// cycle) and writes VCD text to `os`. Returns the number of dumped
+/// cycles.
+std::size_t dumpWorkloadVcd(std::ostream& os, const netlist::Netlist& nl,
+                            const liberty::CornerDelays& delays,
+                            std::span<const std::vector<std::uint8_t>>
+                                workload,
+                            const VcdDumpOptions& options = {});
+
+}  // namespace tevot::sim

@@ -1,0 +1,62 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tevot::sta {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::kNoGate;
+using netlist::NetId;
+
+StaResult analyze(const netlist::Netlist& nl,
+                  const liberty::CornerDelays& delays) {
+  if (delays.gateCount() != nl.gateCount()) {
+    throw std::invalid_argument("sta::analyze: delay annotation mismatch");
+  }
+  StaResult result;
+  result.arrival_ps.assign(nl.netCount(), 0.0);
+  // Predecessor net on the worst path into each net, for traceback.
+  std::vector<NetId> worst_pred(nl.netCount(), netlist::kNoNet);
+
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    const Gate& gate = nl.gate(g);
+    const double arc =
+        std::max(delays.rise_ps[g], delays.fall_ps[g]);
+    double worst_in = 0.0;
+    NetId pred = netlist::kNoNet;
+    for (int i = 0; i < gate.fanin; ++i) {
+      const double a = result.arrival_ps[gate.in[i]];
+      if (pred == netlist::kNoNet || a > worst_in) {
+        worst_in = a;
+        pred = gate.in[i];
+      }
+    }
+    result.arrival_ps[gate.out] = worst_in + arc;
+    worst_pred[gate.out] = pred;
+  }
+
+  NetId latest = netlist::kNoNet;
+  for (const NetId out : nl.outputs()) {
+    if (latest == netlist::kNoNet ||
+        result.arrival_ps[out] > result.arrival_ps[latest]) {
+      latest = out;
+    }
+  }
+  if (latest != netlist::kNoNet) {
+    result.critical_path_ps = result.arrival_ps[latest];
+    for (NetId n = latest; n != netlist::kNoNet; n = worst_pred[n]) {
+      result.critical_path.push_back(n);
+    }
+    std::reverse(result.critical_path.begin(), result.critical_path.end());
+  }
+  return result;
+}
+
+double criticalPathPs(const netlist::Netlist& nl,
+                      const liberty::CornerDelays& delays) {
+  return analyze(nl, delays).critical_path_ps;
+}
+
+}  // namespace tevot::sta

@@ -1,0 +1,36 @@
+// Static timing analysis.
+//
+// Computes worst-case arrival times by topological traversal using the
+// pessimistic max(rise, fall) arc delay per gate — the classic
+// sensitization-blind longest path. This is exactly the quantity the
+// paper's Delay-based baseline uses ("the maximum delay measured
+// offline at each operating condition") and what the DTA phase uses to
+// choose an error-free base clock period.
+#pragma once
+
+#include <vector>
+
+#include "liberty/corner.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tevot::sta {
+
+struct StaResult {
+  /// Worst-case arrival time at each net [ps], index by NetId.
+  std::vector<double> arrival_ps;
+  /// Critical-path delay: max arrival over primary outputs [ps].
+  double critical_path_ps = 0.0;
+  /// Nets of the critical path, from a primary input to the latest
+  /// primary output.
+  std::vector<netlist::NetId> critical_path;
+};
+
+/// Runs STA on `nl` with per-gate delays from `delays`.
+StaResult analyze(const netlist::Netlist& nl,
+                  const liberty::CornerDelays& delays);
+
+/// Convenience: just the critical-path delay [ps].
+double criticalPathPs(const netlist::Netlist& nl,
+                      const liberty::CornerDelays& delays);
+
+}  // namespace tevot::sta

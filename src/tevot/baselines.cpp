@@ -1,0 +1,69 @@
+#include "tevot/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tevot::core {
+
+std::pair<int, int> cornerKey(const liberty::Corner& corner) {
+  return {static_cast<int>(std::lround(corner.voltage * 1000.0)),
+          static_cast<int>(std::lround(corner.temperature * 10.0))};
+}
+
+bool TevotErrorModel::predictError(const PredictionContext& context) {
+  return model_->predictError(context.a, context.b, context.prev_a,
+                              context.prev_b, context.corner,
+                              context.tclk_ps);
+}
+
+void DelayBasedModel::calibrate(std::span<const dta::DtaTrace> traces) {
+  for (const dta::DtaTrace& trace : traces) {
+    double& slot = max_delay_[cornerKey(trace.corner)];
+    slot = std::max(slot, trace.maxDelayPs());
+  }
+}
+
+double DelayBasedModel::maxDelayAt(const liberty::Corner& corner) const {
+  const auto it = max_delay_.find(cornerKey(corner));
+  if (it == max_delay_.end()) {
+    throw std::out_of_range("DelayBasedModel: corner not calibrated");
+  }
+  return it->second;
+}
+
+bool DelayBasedModel::predictError(const PredictionContext& context) {
+  return context.tclk_ps < maxDelayAt(context.corner);
+}
+
+void TerBasedModel::calibrate(std::span<const dta::DtaTrace> traces) {
+  for (const dta::DtaTrace& trace : traces) {
+    auto& delays = sorted_delays_[cornerKey(trace.corner)];
+    delays.reserve(delays.size() + trace.samples.size());
+    for (const dta::DtaSample& sample : trace.samples) {
+      delays.push_back(sample.delay_ps);
+    }
+  }
+  for (auto& [key, delays] : sorted_delays_) {
+    std::sort(delays.begin(), delays.end());
+  }
+}
+
+double TerBasedModel::terAt(const liberty::Corner& corner,
+                            double tclk_ps) const {
+  const auto it = sorted_delays_.find(cornerKey(corner));
+  if (it == sorted_delays_.end()) {
+    throw std::out_of_range("TerBasedModel: corner not calibrated");
+  }
+  const std::vector<double>& delays = it->second;
+  if (delays.empty()) return 0.0;
+  const auto above = delays.end() - std::upper_bound(delays.begin(),
+                                                     delays.end(), tclk_ps);
+  return static_cast<double>(above) / static_cast<double>(delays.size());
+}
+
+bool TerBasedModel::predictError(const PredictionContext& context) {
+  return rng_.nextBool(terAt(context.corner, context.tclk_ps));
+}
+
+}  // namespace tevot::core

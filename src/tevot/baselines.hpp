@@ -1,0 +1,98 @@
+// Baseline error models the paper compares TEVoT against
+// (Sec. IV-C):
+//
+//  * Delay-based [Rahimi DATE'12, Constantin DATE'15, HFG DATE'13]:
+//    predicts a timing error whenever the clock period is shorter
+//    than the maximum delay measured offline at the operating
+//    condition — workload-blind and maximally pessimistic.
+//  * TER-based [EnerJ PLDI'11, Truffle ASPLOS'12]: predicts errors
+//    randomly at the timing-error rate measured offline — the
+//    uniform-probability bit-flip family used in approximate
+//    computing.
+//  * TEVoT-NH: TEVoT trained without the history features x[t-1]
+//    (the ablation showing history is what captures sensitization).
+//
+// All models implement ErrorModel so the evaluation and
+// error-injection layers treat them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dta/dta.hpp"
+#include "liberty/corner.hpp"
+#include "tevot/model.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::core {
+
+/// Everything a model may look at when classifying one cycle.
+struct PredictionContext {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t prev_a = 0;
+  std::uint32_t prev_b = 0;
+  liberty::Corner corner;
+  double tclk_ps = 0.0;
+};
+
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+  /// Classifies one cycle as timing-erroneous (true) or correct.
+  virtual bool predictError(const PredictionContext& context) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Integer key identifying a Table-I corner (mV, deci-degC).
+std::pair<int, int> cornerKey(const liberty::Corner& corner);
+
+/// TEVoT (or TEVoT-NH when the wrapped model has no history).
+class TevotErrorModel final : public ErrorModel {
+ public:
+  explicit TevotErrorModel(const TevotModel& model) : model_(&model) {}
+  bool predictError(const PredictionContext& context) override;
+  std::string_view name() const override {
+    return model_->config().include_history ? "TEVoT" : "TEVoT-NH";
+  }
+
+ private:
+  const TevotModel* model_;
+};
+
+/// Delay-based baseline: per-corner maximum delay from offline
+/// characterization; error iff tclk < that maximum.
+class DelayBasedModel final : public ErrorModel {
+ public:
+  /// Records max delays from training traces (one per corner seen).
+  void calibrate(std::span<const dta::DtaTrace> traces);
+  bool predictError(const PredictionContext& context) override;
+  std::string_view name() const override { return "Delay-based"; }
+  double maxDelayAt(const liberty::Corner& corner) const;
+
+ private:
+  std::map<std::pair<int, int>, double> max_delay_;
+};
+
+/// TER-based baseline: per-corner offline delay distribution; at a
+/// clock period tclk the calibrated TER is the fraction of training
+/// delays above tclk, and errors are predicted randomly at that rate.
+class TerBasedModel final : public ErrorModel {
+ public:
+  explicit TerBasedModel(std::uint64_t seed = 99) : rng_(seed) {}
+  void calibrate(std::span<const dta::DtaTrace> traces);
+  bool predictError(const PredictionContext& context) override;
+  std::string_view name() const override { return "TER-based"; }
+  /// The calibrated timing-error rate at a corner and clock.
+  double terAt(const liberty::Corner& corner, double tclk_ps) const;
+
+ private:
+  std::map<std::pair<int, int>, std::vector<double>> sorted_delays_;
+  util::Rng rng_;
+};
+
+}  // namespace tevot::core

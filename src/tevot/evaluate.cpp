@@ -1,0 +1,37 @@
+#include "tevot/evaluate.hpp"
+
+namespace tevot::core {
+
+EvalOutcome evaluateOnTrace(ErrorModel& model, const dta::DtaTrace& trace,
+                            double tclk_ps) {
+  EvalOutcome outcome;
+  PredictionContext context;
+  context.corner = trace.corner;
+  context.tclk_ps = tclk_ps;
+  for (const dta::DtaSample& sample : trace.samples) {
+    context.a = sample.a;
+    context.b = sample.b;
+    context.prev_a = sample.prev_a;
+    context.prev_b = sample.prev_b;
+    const bool truth = sample.timingError(tclk_ps);
+    const bool predicted = model.predictError(context);
+    ++outcome.cycles;
+    if (truth) ++outcome.true_errors;
+    if (predicted) ++outcome.predicted_errors;
+    if (truth == predicted) ++outcome.matched;
+  }
+  return outcome;
+}
+
+EvalOutcome mergeOutcomes(std::span<const EvalOutcome> outcomes) {
+  EvalOutcome merged;
+  for (const EvalOutcome& outcome : outcomes) {
+    merged.cycles += outcome.cycles;
+    merged.matched += outcome.matched;
+    merged.true_errors += outcome.true_errors;
+    merged.predicted_errors += outcome.predicted_errors;
+  }
+  return merged;
+}
+
+}  // namespace tevot::core

@@ -1,0 +1,41 @@
+// Model evaluation (paper Sec. IV-C, Eq. 4).
+//
+// prediction accuracy = #matched cycles / #total cycles, where a
+// cycle matches when the model's {correct, erroneous} classification
+// equals the simulation ground truth from the DTA trace.
+#pragma once
+
+#include <span>
+
+#include "dta/dta.hpp"
+#include "tevot/baselines.hpp"
+
+namespace tevot::core {
+
+struct EvalOutcome {
+  std::size_t cycles = 0;
+  std::size_t matched = 0;
+  std::size_t true_errors = 0;      ///< ground-truth erroneous cycles
+  std::size_t predicted_errors = 0;
+
+  double accuracy() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(matched) /
+                             static_cast<double>(cycles);
+  }
+  double groundTruthTer() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(true_errors) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Runs `model` over every cycle of `trace` at clock period `tclk_ps`
+/// and scores it against the trace's ground truth.
+EvalOutcome evaluateOnTrace(ErrorModel& model, const dta::DtaTrace& trace,
+                            double tclk_ps);
+
+/// Accumulates several outcomes (e.g. across corners and clocks).
+EvalOutcome mergeOutcomes(std::span<const EvalOutcome> outcomes);
+
+}  // namespace tevot::core

@@ -1,0 +1,74 @@
+#include "tevot/features.hpp"
+
+#include <stdexcept>
+
+namespace tevot::core {
+
+void FeatureEncoder::encode(std::uint32_t a, std::uint32_t b,
+                            std::uint32_t prev_a, std::uint32_t prev_b,
+                            const liberty::Corner& corner,
+                            std::span<float> out) const {
+  if (out.size() != featureCount()) {
+    throw std::invalid_argument("FeatureEncoder::encode: bad output size");
+  }
+  std::size_t at = 0;
+  auto emitWord = [&](std::uint32_t word) {
+    for (int i = 0; i < 32; ++i) {
+      out[at++] = static_cast<float>((word >> i) & 1u);
+    }
+  };
+  emitWord(a);
+  emitWord(b);
+  if (include_history_) {
+    emitWord(a ^ prev_a);
+    emitWord(b ^ prev_b);
+  }
+  out[at++] = static_cast<float>(corner.voltage);
+  out[at++] = static_cast<float>(corner.temperature);
+}
+
+void FeatureEncoder::encodeSample(const dta::DtaSample& sample,
+                                  const liberty::Corner& corner,
+                                  std::span<float> out) const {
+  encode(sample.a, sample.b, sample.prev_a, sample.prev_b, corner, out);
+}
+
+std::string FeatureEncoder::featureName(std::size_t index) const {
+  if (index >= featureCount()) {
+    throw std::out_of_range("FeatureEncoder::featureName: bad index");
+  }
+  const std::size_t word = index / 32;
+  const std::size_t bit = index % 32;
+  if (include_history_) {
+    switch (word) {
+      case 0:
+        return "a[" + std::to_string(bit) + "]";
+      case 1:
+        return "b[" + std::to_string(bit) + "]";
+      case 2:
+        return "tog_a[" + std::to_string(bit) + "]";
+      case 3:
+        return "tog_b[" + std::to_string(bit) + "]";
+      default:
+        return bit == 0 ? "V" : "T";
+    }
+  }
+  switch (word) {
+    case 0:
+      return "a[" + std::to_string(bit) + "]";
+    case 1:
+      return "b[" + std::to_string(bit) + "]";
+    default:
+      return bit == 0 ? "V" : "T";
+  }
+}
+
+std::vector<float> FeatureEncoder::encodeVec(
+    std::uint32_t a, std::uint32_t b, std::uint32_t prev_a,
+    std::uint32_t prev_b, const liberty::Corner& corner) const {
+  std::vector<float> out(featureCount());
+  encode(a, b, prev_a, prev_b, corner, out);
+  return out;
+}
+
+}  // namespace tevot::core

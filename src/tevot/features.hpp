@@ -1,0 +1,54 @@
+// Feature generation (paper Sec. IV-B-1).
+//
+// The "variability feature" is {V, T, x[t], x[t-1]}: every bit of the
+// current input word x[t] (two 32-bit operands, 64 bits) and of the
+// previous input word x[t-1] is an individual feature, because each
+// bit affects path sensitization and the previous input sets the
+// circuit state the current input toggles. With the two operating-
+// condition values this gives the paper's 130-dimensional feature
+// vector. TEVoT-NH (the no-history ablation) drops x[t-1], giving 66.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dta/dta.hpp"
+#include "liberty/corner.hpp"
+
+namespace tevot::core {
+
+class FeatureEncoder {
+ public:
+  explicit FeatureEncoder(bool include_history = true)
+      : include_history_(include_history) {}
+
+  bool includeHistory() const { return include_history_; }
+
+  /// 130 with history, 66 without.
+  std::size_t featureCount() const { return include_history_ ? 130 : 66; }
+
+  /// Layout: [a bits 0..31][b bits 0..31]([prev_a][prev_b])[V][T].
+  void encode(std::uint32_t a, std::uint32_t b, std::uint32_t prev_a,
+              std::uint32_t prev_b, const liberty::Corner& corner,
+              std::span<float> out) const;
+
+  void encodeSample(const dta::DtaSample& sample,
+                    const liberty::Corner& corner,
+                    std::span<float> out) const;
+
+  std::vector<float> encodeVec(std::uint32_t a, std::uint32_t b,
+                               std::uint32_t prev_a, std::uint32_t prev_b,
+                               const liberty::Corner& corner) const;
+
+  /// Human-readable label for feature `index` ("a[5]", "tog_b[31]",
+  /// "V", "T"), matching the encode() layout.
+  std::string featureName(std::size_t index) const;
+
+ private:
+  bool include_history_;
+};
+
+}  // namespace tevot::core

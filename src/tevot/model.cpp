@@ -1,0 +1,87 @@
+#include "tevot/model.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+
+namespace tevot::core {
+
+ml::Dataset buildDelayDataset(std::span<const dta::DtaTrace> traces,
+                              const FeatureEncoder& encoder) {
+  ml::Dataset data;
+  std::vector<float> row(encoder.featureCount());
+  for (const dta::DtaTrace& trace : traces) {
+    for (const dta::DtaSample& sample : trace.samples) {
+      encoder.encodeSample(sample, trace.corner, row);
+      data.append(row, static_cast<float>(sample.delay_ps));
+    }
+  }
+  return data;
+}
+
+ml::Dataset buildErrorDataset(
+    std::span<const dta::DtaTrace> traces, const FeatureEncoder& encoder,
+    const std::function<double(const dta::DtaTrace&)>& clock_of_trace) {
+  ml::Dataset data;
+  std::vector<float> row(encoder.featureCount());
+  for (const dta::DtaTrace& trace : traces) {
+    const double tclk = clock_of_trace(trace);
+    for (const dta::DtaSample& sample : trace.samples) {
+      encoder.encodeSample(sample, trace.corner, row);
+      data.append(row, sample.timingError(tclk) ? 1.0f : 0.0f);
+    }
+  }
+  return data;
+}
+
+void TevotModel::train(std::span<const dta::DtaTrace> traces,
+                       util::Rng& rng) {
+  const ml::Dataset data = buildDelayDataset(traces, encoder_);
+  if (data.size() == 0) {
+    throw std::invalid_argument("TevotModel::train: no training samples");
+  }
+  forest_.fit(data, config_.forest, rng);
+}
+
+double TevotModel::predictDelay(std::uint32_t a, std::uint32_t b,
+                                std::uint32_t prev_a, std::uint32_t prev_b,
+                                const liberty::Corner& corner) const {
+  if (!trained()) throw std::logic_error("TevotModel: not trained");
+  scratch_.resize(encoder_.featureCount());
+  encoder_.encode(a, b, prev_a, prev_b, corner, scratch_);
+  return forest_.predict(scratch_);
+}
+
+std::vector<double> TevotModel::featureImportance() const {
+  if (!trained()) throw std::logic_error("TevotModel: not trained");
+  return ml::forestFeatureImportance(forest_.trees(),
+                                     encoder_.featureCount());
+}
+
+void TevotModel::save(const std::string& path) const {
+  if (!trained()) throw std::logic_error("TevotModel::save: not trained");
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("TevotModel::save: cannot open " + path);
+  os << "tevot-model v1 history " << (config_.include_history ? 1 : 0)
+     << "\n";
+  ml::saveForest(os, forest_);
+}
+
+TevotModel TevotModel::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("TevotModel::load: cannot open " + path);
+  std::string magic, version, key;
+  int history = 0;
+  if (!(is >> magic >> version >> key >> history) ||
+      magic != "tevot-model" || version != "v1" || key != "history") {
+    throw std::runtime_error("TevotModel::load: bad header");
+  }
+  TevotConfig config;
+  config.include_history = history != 0;
+  TevotModel model(config);
+  model.forest_ = ml::loadForestRegressor(is);
+  return model;
+}
+
+}  // namespace tevot::core

@@ -1,0 +1,84 @@
+// The TEVoT model (paper Sec. III-IV).
+//
+// Rather than learning the timing-error function fe(V,T,tclk,I)
+// directly, TEVoT learns the dynamic delay fd(V,T,I) with a random-
+// forest regressor over the {V, T, x[t], x[t-1]} features; a
+// predicted delay is then compared against *any* clock period, so one
+// trained model classifies outputs as {timing correct, timing
+// erroneous} across all clock speeds. The paper's Eq. 3 delay matrix
+// corresponds to buildDelayDataset().
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "dta/dta.hpp"
+#include "ml/random_forest.hpp"
+#include "tevot/features.hpp"
+
+namespace tevot::core {
+
+struct TevotConfig {
+  bool include_history = true;  ///< false => the TEVoT-NH ablation
+  ml::ForestParams forest;      ///< default: 10 trees, all features
+};
+
+/// Assembles the paper's feature matrix I / delay matrix D (Eq. 3)
+/// from characterized traces: one row per cycle, features from the
+/// encoder, label D[t] in ps.
+ml::Dataset buildDelayDataset(std::span<const dta::DtaTrace> traces,
+                              const FeatureEncoder& encoder);
+
+/// Like buildDelayDataset but with a binary timing-error label at the
+/// per-trace clock period produced by `clock_of_trace(trace)`; used
+/// for the direct-classification comparison (Table II).
+ml::Dataset buildErrorDataset(
+    std::span<const dta::DtaTrace> traces, const FeatureEncoder& encoder,
+    const std::function<double(const dta::DtaTrace&)>& clock_of_trace);
+
+class TevotModel {
+ public:
+  explicit TevotModel(TevotConfig config = {})
+      : config_(config), encoder_(config.include_history) {}
+
+  /// Trains the delay regressor on characterized traces (any mix of
+  /// corners and workloads).
+  void train(std::span<const dta::DtaTrace> traces, util::Rng& rng);
+
+  /// Predicted dynamic delay [ps] for one input transition at a
+  /// corner.
+  double predictDelay(std::uint32_t a, std::uint32_t b,
+                      std::uint32_t prev_a, std::uint32_t prev_b,
+                      const liberty::Corner& corner) const;
+
+  /// Timing-error classification: erroneous iff predicted delay
+  /// exceeds the clock period.
+  bool predictError(std::uint32_t a, std::uint32_t b, std::uint32_t prev_a,
+                    std::uint32_t prev_b, const liberty::Corner& corner,
+                    double tclk_ps) const {
+    return predictDelay(a, b, prev_a, prev_b, corner) > tclk_ps;
+  }
+
+  const FeatureEncoder& encoder() const { return encoder_; }
+  const TevotConfig& config() const { return config_; }
+  bool trained() const { return forest_.fitted(); }
+  const ml::RandomForestRegressor& forest() const { return forest_; }
+
+  /// Normalized impurity-decrease importance per feature (encoder
+  /// layout; see FeatureEncoder::featureName). Empty-importance
+  /// (all-zero) for models loaded from disk.
+  std::vector<double> featureImportance() const;
+
+  /// Pre-trained model persistence (forest + history flag).
+  void save(const std::string& path) const;
+  static TevotModel load(const std::string& path);
+
+ private:
+  TevotConfig config_;
+  FeatureEncoder encoder_;
+  ml::RandomForestRegressor forest_;
+  mutable std::vector<float> scratch_;
+};
+
+}  // namespace tevot::core

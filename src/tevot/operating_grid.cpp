@@ -1,0 +1,57 @@
+#include "tevot/operating_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tevot::core {
+
+OperatingGrid OperatingGrid::paper() { return OperatingGrid{}; }
+
+int OperatingGrid::voltagePoints() const {
+  return static_cast<int>(std::lround((v_end - v_start) / v_step)) + 1;
+}
+
+int OperatingGrid::temperaturePoints() const {
+  return static_cast<int>(std::lround((t_end - t_start) / t_step)) + 1;
+}
+
+std::vector<liberty::Corner> OperatingGrid::corners() const {
+  std::vector<liberty::Corner> out;
+  const int nv = voltagePoints();
+  const int nt = temperaturePoints();
+  out.reserve(static_cast<std::size_t>(nv) * static_cast<std::size_t>(nt));
+  for (int vi = 0; vi < nv; ++vi) {
+    for (int ti = 0; ti < nt; ++ti) {
+      out.push_back(liberty::Corner{v_start + v_step * vi,
+                                    t_start + t_step * ti});
+    }
+  }
+  return out;
+}
+
+std::vector<liberty::Corner> OperatingGrid::subsampled(int nv,
+                                                       int nt) const {
+  if (nv < 1 || nt < 1) {
+    throw std::invalid_argument("OperatingGrid::subsampled: bad counts");
+  }
+  std::vector<liberty::Corner> out;
+  out.reserve(static_cast<std::size_t>(nv) * static_cast<std::size_t>(nt));
+  for (int vi = 0; vi < nv; ++vi) {
+    const double v =
+        nv == 1 ? v_start : v_start + (v_end - v_start) * vi / (nv - 1);
+    for (int ti = 0; ti < nt; ++ti) {
+      const double t =
+          nt == 1 ? t_start : t_start + (t_end - t_start) * ti / (nt - 1);
+      // Snap to the underlying grid steps so subsampled corners are
+      // actual Table I conditions.
+      const double vs =
+          v_start + v_step * std::lround((v - v_start) / v_step);
+      const double ts =
+          t_start + t_step * std::lround((t - t_start) / t_step);
+      out.push_back(liberty::Corner{vs, ts});
+    }
+  }
+  return out;
+}
+
+}  // namespace tevot::core

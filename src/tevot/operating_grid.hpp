@@ -1,0 +1,37 @@
+// Operating-condition grid (paper Table I).
+//
+// Voltage 0.81 V to 1.00 V in 0.01 V steps (20 points), temperature
+// 0 C to 100 C in 25 C steps (5 points) — 100 (V,T) corners — and
+// three clock speedups (5%, 10%, 15%) from each corner's fastest
+// error-free clock.
+#pragma once
+
+#include <vector>
+
+#include "liberty/corner.hpp"
+
+namespace tevot::core {
+
+struct OperatingGrid {
+  double v_start = 0.81;
+  double v_end = 1.00;
+  double v_step = 0.01;
+  double t_start = 0.0;
+  double t_end = 100.0;
+  double t_step = 25.0;
+
+  /// The paper's full Table I grid (100 corners).
+  static OperatingGrid paper();
+
+  /// All corners, voltage-major then temperature.
+  std::vector<liberty::Corner> corners() const;
+
+  /// Evenly subsampled grid with `nv` voltage and `nt` temperature
+  /// points (endpoints included) — the reduced default for benches.
+  std::vector<liberty::Corner> subsampled(int nv, int nt) const;
+
+  int voltagePoints() const;
+  int temperaturePoints() const;
+};
+
+}  // namespace tevot::core

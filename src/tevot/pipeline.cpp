@@ -1,0 +1,64 @@
+#include "tevot/pipeline.hpp"
+
+namespace tevot::core {
+
+FuContext::FuContext(circuits::FuKind kind, liberty::CellLibrary library,
+                     liberty::VtModel vt_model)
+    : kind_(kind),
+      netlist_(circuits::buildFu(kind)),
+      library_(std::move(library)),
+      vt_model_(vt_model) {}
+
+const liberty::CornerDelays& FuContext::delaysAt(
+    const liberty::Corner& corner) {
+  const auto key = cornerKey(corner);
+  const auto it = delay_cache_.find(key);
+  if (it != delay_cache_.end()) return it->second;
+  return delay_cache_
+      .emplace(key,
+               liberty::annotateCorner(netlist_, library_, vt_model_, corner))
+      .first->second;
+}
+
+double FuContext::staCriticalPathPs(const liberty::Corner& corner) {
+  return sta::criticalPathPs(netlist_, delaysAt(corner));
+}
+
+dta::DtaTrace FuContext::characterize(const liberty::Corner& corner,
+                                      const dta::Workload& workload,
+                                      const dta::DtaOptions& options) {
+  return dta::characterize(netlist_, delaysAt(corner), workload, options);
+}
+
+std::vector<std::unique_ptr<ErrorModel>> ModelSuite::errorModels() const {
+  std::vector<std::unique_ptr<ErrorModel>> models;
+  models.push_back(std::make_unique<TevotErrorModel>(tevot));
+  auto delay = std::make_unique<DelayBasedModel>(delay_based);
+  models.push_back(std::move(delay));
+  models.push_back(std::make_unique<TerBasedModel>(ter_based));
+  models.push_back(std::make_unique<TevotErrorModel>(tevot_nh));
+  return models;
+}
+
+ModelSuite trainModelSuite(std::span<const dta::DtaTrace> traces,
+                           util::Rng& rng,
+                           const ml::ForestParams& forest_params) {
+  ModelSuite suite;
+  TevotConfig with_history;
+  with_history.include_history = true;
+  with_history.forest = forest_params;
+  suite.tevot = TevotModel(with_history);
+  suite.tevot.train(traces, rng);
+
+  TevotConfig no_history;
+  no_history.include_history = false;
+  no_history.forest = forest_params;
+  suite.tevot_nh = TevotModel(no_history);
+  suite.tevot_nh.train(traces, rng);
+
+  suite.delay_based.calibrate(traces);
+  suite.ter_based.calibrate(traces);
+  return suite;
+}
+
+}  // namespace tevot::core

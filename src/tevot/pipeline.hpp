@@ -1,0 +1,71 @@
+// End-to-end experiment pipeline glue.
+//
+// FuContext bundles an FU netlist with the timing library and VT
+// model and memoizes per-corner annotation (the SDF-per-corner step)
+// and characterization, so benches and examples express experiments
+// as "characterize workload W at corner C" without repeating the flow
+// plumbing. trainModelSuite() trains TEVoT plus all three baselines
+// from the same training traces, mirroring the paper's setup.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "circuits/fu.hpp"
+#include "dta/dta.hpp"
+#include "liberty/corner.hpp"
+#include "sta/sta.hpp"
+#include "tevot/baselines.hpp"
+#include "tevot/model.hpp"
+
+namespace tevot::core {
+
+class FuContext {
+ public:
+  explicit FuContext(circuits::FuKind kind,
+                     liberty::CellLibrary library =
+                         liberty::CellLibrary::defaultLibrary(),
+                     liberty::VtModel vt_model = liberty::VtModel());
+
+  circuits::FuKind kind() const { return kind_; }
+  const netlist::Netlist& netlist() const { return netlist_; }
+  const liberty::CellLibrary& library() const { return library_; }
+  const liberty::VtModel& vtModel() const { return vt_model_; }
+
+  /// Per-corner annotated delays (memoized; the in-memory SDF).
+  const liberty::CornerDelays& delaysAt(const liberty::Corner& corner);
+
+  /// STA critical-path delay at a corner [ps].
+  double staCriticalPathPs(const liberty::Corner& corner);
+
+  /// DTA characterization of a workload at a corner.
+  dta::DtaTrace characterize(const liberty::Corner& corner,
+                             const dta::Workload& workload,
+                             const dta::DtaOptions& options = {});
+
+ private:
+  circuits::FuKind kind_;
+  netlist::Netlist netlist_;
+  liberty::CellLibrary library_;
+  liberty::VtModel vt_model_;
+  std::map<std::pair<int, int>, liberty::CornerDelays> delay_cache_;
+};
+
+/// TEVoT plus the three baselines, trained/calibrated together.
+struct ModelSuite {
+  TevotModel tevot;
+  TevotModel tevot_nh;
+  DelayBasedModel delay_based;
+  TerBasedModel ter_based;
+
+  /// Views as the common ErrorModel interface, in the paper's
+  /// Table III column order: TEVoT, Delay-based, TER-based, TEVoT-NH.
+  std::vector<std::unique_ptr<ErrorModel>> errorModels() const;
+};
+
+/// Trains all four models from the same training traces.
+ModelSuite trainModelSuite(std::span<const dta::DtaTrace> traces,
+                           util::Rng& rng,
+                           const ml::ForestParams& forest_params = {});
+
+}  // namespace tevot::core

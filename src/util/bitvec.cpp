@@ -1,0 +1,47 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace tevot::util {
+
+void unpackBits(std::uint64_t word, int width, std::span<std::uint8_t> out) {
+  for (int i = 0; i < width; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((word >> i) & 1ULL);
+  }
+}
+
+std::vector<std::uint8_t> toBits(std::uint64_t word, int width) {
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(width));
+  unpackBits(word, width, bits);
+  return bits;
+}
+
+std::uint64_t packBits(std::span<const std::uint8_t> bits) {
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) word |= (1ULL << i);
+  }
+  return word;
+}
+
+int popcount64(std::uint64_t word) { return std::popcount(word); }
+
+int hammingDistance(std::uint64_t a, std::uint64_t b) {
+  return std::popcount(a ^ b);
+}
+
+std::uint32_t floatToBits(float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+float bitsToFloat(std::uint32_t bits) {
+  float value = 0.0f;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace tevot::util

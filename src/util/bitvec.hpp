@@ -1,0 +1,34 @@
+// Helpers for moving between machine words and bit-level circuit I/O.
+//
+// The netlist simulator and the ML feature encoder both view operands
+// as ordered bit vectors (LSB first, matching net index order used by
+// the circuit generators).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tevot::util {
+
+/// Expands the low `width` bits of `word` into `out[0..width)`,
+/// LSB first.
+void unpackBits(std::uint64_t word, int width, std::span<std::uint8_t> out);
+
+/// Returns the low `width` bits of `word` as a vector, LSB first.
+std::vector<std::uint8_t> toBits(std::uint64_t word, int width);
+
+/// Packs `bits[0..width)` (LSB first) into a word.
+std::uint64_t packBits(std::span<const std::uint8_t> bits);
+
+/// Population count of a word (number of set bits).
+int popcount64(std::uint64_t word);
+
+/// Hamming distance between two words.
+int hammingDistance(std::uint64_t a, std::uint64_t b);
+
+/// Reinterprets a float as its IEEE-754 bit pattern and back.
+std::uint32_t floatToBits(float value);
+float bitsToFloat(std::uint32_t bits);
+
+}  // namespace tevot::util

@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/env.hpp"
+
+namespace tevot::util {
+namespace {
+
+LogLevel initialLevel() {
+  const std::string raw = envString("TEVOT_LOG", "warn");
+  if (raw == "error") return LogLevel::kError;
+  if (raw == "info") return LogLevel::kInfo;
+  if (raw == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& levelStorage() {
+  static std::atomic<int> level{static_cast<int>(initialLevel())};
+  return level;
+}
+
+const char* levelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logLevel() { return static_cast<LogLevel>(levelStorage().load()); }
+
+void setLogLevel(LogLevel level) {
+  levelStorage().store(static_cast<int>(level));
+}
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > levelStorage().load()) return;
+  std::fprintf(stderr, "[tevot %s] %s\n", levelTag(level), message.c_str());
+}
+
+}  // namespace tevot::util

@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself is quiet by default; benches and examples raise
+// the level for progress reporting on long sweeps. TEVOT_LOG controls
+// the initial level (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tevot::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Emits one line to stderr if `level` is enabled.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine logError() {
+  return detail::LogLine(LogLevel::kError);
+}
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine logDebug() {
+  return detail::LogLine(LogLevel::kDebug);
+}
+
+}  // namespace tevot::util

@@ -1,0 +1,82 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tevot::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // Guard against the (astronomically unlikely) all-zero state, which
+  // is the one fixed point of xoshiro.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+  if (bound == 0) return next();
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::nextInRange(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextDouble(double lo, double hi) {
+  return lo + (hi - lo) * nextDouble();
+}
+
+double Rng::nextGaussian() {
+  double u1 = nextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = nextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::nextBool(double p) { return nextDouble() < p; }
+
+Rng Rng::fork() {
+  std::uint64_t child_seed = next();
+  return Rng(splitmix64(child_seed));
+}
+
+}  // namespace tevot::util

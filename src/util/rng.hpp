@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for workload synthesis,
+// ML bootstrapping and error injection.
+//
+// All stochastic components of the library take an explicit Rng (or a
+// seed) so that every experiment in bench/ is exactly reproducible.
+// The generator is xoshiro256** (Blackman & Vigna), which is fast,
+// has a 2^256-1 period, and passes BigCrush; <random> engines are
+// deliberately avoided because their streams differ across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tevot::util {
+
+/// xoshiro256** pseudo-random generator with splitmix64 seeding.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can
+/// also be handed to <algorithm> facilities (e.g. std::shuffle).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from a single 64-bit seed via
+  /// splitmix64, as recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next();
+
+  result_type operator()() { return next(); }
+
+  /// Uniform in [0, bound). bound == 0 is treated as the full range.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform double in [lo, hi).
+  double nextDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (no state caching; two draws).
+  double nextGaussian();
+
+  /// Bernoulli draw with probability p of returning true.
+  bool nextBool(double p = 0.5);
+
+  /// Uniform 32-bit value (upper 32 bits of a 64-bit draw).
+  std::uint32_t nextU32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+  /// Forks an independent generator; the child stream is decorrelated
+  /// from the parent by an extra splitmix64 scramble.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace tevot::util

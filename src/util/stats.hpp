@@ -1,0 +1,59 @@
+// Streaming statistics used to summarize delay distributions and
+// benchmark results without storing full sample vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tevot::util {
+
+/// Welford-style streaming accumulator for mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); samples outside clamp to the
+/// first/last bin. Used for delay-distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t binCount(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double binLow(std::size_t bin) const;
+  double binHigh(std::size_t bin) const;
+
+  /// Approximate quantile (q in [0,1]) from bin midpoints.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tevot::util

@@ -1,0 +1,163 @@
+// Floating-point FU tests, in two layers:
+//  1. the gate-level FP ADD / FP MUL netlists are bit-identical to the
+//     word-level golden models (fpAddRef / fpMulRef) over random and
+//     directed operand patterns;
+//  2. the golden models agree with IEEE-754 hardware float arithmetic
+//     for normal operands producing normal results (the regime the
+//     image workloads live in).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "circuits/fp_ref.hpp"
+#include "circuits/fu.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::circuits {
+namespace {
+
+std::uint32_t evalFu32(const netlist::Netlist& nl, std::uint32_t a,
+                       std::uint32_t b) {
+  const auto bits = encodeOperands(a, b);
+  return static_cast<std::uint32_t>(nl.evalOutputsWord(bits));
+}
+
+/// Random float with the given exponent range, uniform sign/mantissa.
+std::uint32_t randomFloatBits(util::Rng& rng, int exp_lo, int exp_hi) {
+  const auto exponent = static_cast<std::uint32_t>(
+      rng.nextInRange(exp_lo, exp_hi));
+  const std::uint32_t mantissa = rng.nextU32() & 0x7fffffu;
+  const std::uint32_t sign = rng.nextBool() ? 1u : 0u;
+  return (sign << 31) | (exponent << 23) | mantissa;
+}
+
+bool isNormalOrZero(std::uint32_t bits) {
+  const std::uint32_t exponent = (bits >> 23) & 0xff;
+  if (exponent == 255) return false;
+  if (exponent == 0) return (bits & 0x7fffffffu) == 0;
+  return true;
+}
+
+class FpNetlistVsRefTest : public ::testing::TestWithParam<FuKind> {};
+
+TEST_P(FpNetlistVsRefTest, RandomOperandsBitExact) {
+  const FuKind kind = GetParam();
+  netlist::Netlist nl = buildFu(kind);
+  nl.validate();
+  util::Rng rng(kind == FuKind::kFpAdd ? 201u : 202u);
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Mix of nearby and distant exponents to exercise alignment,
+    // cancellation and normalization paths.
+    const int base = static_cast<int>(rng.nextInRange(1, 250));
+    const int spread = trial % 3 == 0 ? 40 : 3;
+    const std::uint32_t a = randomFloatBits(
+        rng, std::max(1, base - spread), std::min(254, base + spread));
+    const std::uint32_t b = randomFloatBits(
+        rng, std::max(1, base - spread), std::min(254, base + spread));
+    EXPECT_EQ(evalFu32(nl, a, b), fuReference(kind, a, b))
+        << std::hex << "a=0x" << a << " b=0x" << b;
+  }
+}
+
+TEST_P(FpNetlistVsRefTest, DirectedEdgeCasesBitExact) {
+  const FuKind kind = GetParam();
+  netlist::Netlist nl = buildFu(kind);
+  const std::uint32_t cases[] = {
+      0x00000000u,  // +0
+      0x80000000u,  // -0
+      0x3f800000u,  // 1.0
+      0xbf800000u,  // -1.0
+      0x3f800001u,  // 1.0 + ulp
+      0x34000000u,  // 2^-23
+      0x00800000u,  // smallest normal
+      0x80800000u,  // -smallest normal
+      0x7f7fffffu,  // largest normal
+      0xff7fffffu,  // -largest normal
+      0x3fffffffu,  // just under 2.0, all mantissa ones
+      0x40490fdbu,  // pi
+      0x00000001u,  // subnormal (DAZ -> zero)
+      0x807fffffu,  // -subnormal (DAZ -> zero)
+      0x42fe0000u,  // 127.0
+      0x4b000000u,  // 2^23
+  };
+  for (const std::uint32_t a : cases) {
+    for (const std::uint32_t b : cases) {
+      EXPECT_EQ(evalFu32(nl, a, b), fuReference(kind, a, b))
+          << std::hex << "a=0x" << a << " b=0x" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFpUnits, FpNetlistVsRefTest,
+                         ::testing::Values(FuKind::kFpAdd, FuKind::kFpMul));
+
+TEST(FpRefVsHardwareTest, AddMatchesIeeeForNormals) {
+  util::Rng rng(203);
+  int checked = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint32_t a = randomFloatBits(rng, 80, 170);
+    const std::uint32_t b = randomFloatBits(rng, 80, 170);
+    const float fa = util::bitsToFloat(a);
+    const float fb = util::bitsToFloat(b);
+    const std::uint32_t ieee = util::floatToBits(fa + fb);
+    if (!isNormalOrZero(ieee)) continue;
+    const std::uint32_t ours = fpAddRef(a, b);
+    // Exact cancellation produces +0 in both (RNE default sign).
+    EXPECT_EQ(ours, ieee) << std::hex << "a=0x" << a << " b=0x" << b;
+    ++checked;
+  }
+  EXPECT_GT(checked, 15000);
+}
+
+TEST(FpRefVsHardwareTest, MulMatchesIeeeForNormals) {
+  util::Rng rng(204);
+  int checked = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint32_t a = randomFloatBits(rng, 64, 190);
+    const std::uint32_t b = randomFloatBits(rng, 64, 190);
+    const float fa = util::bitsToFloat(a);
+    const float fb = util::bitsToFloat(b);
+    const std::uint32_t ieee = util::floatToBits(fa * fb);
+    if (!isNormalOrZero(ieee)) continue;
+    const std::uint32_t ours = fpMulRef(a, b);
+    EXPECT_EQ(ours, ieee) << std::hex << "a=0x" << a << " b=0x" << b;
+    ++checked;
+  }
+  EXPECT_GT(checked, 15000);
+}
+
+TEST(FpRefSemanticsTest, DazFtzAndSpecials) {
+  // DAZ: subnormal inputs behave as zero.
+  EXPECT_EQ(fpAddRef(0x00000001u, 0x3f800000u), 0x3f800000u);
+  EXPECT_EQ(fpMulRef(0x00000001u, 0x3f800000u), 0x00000000u);
+  // Zero results.
+  EXPECT_EQ(fpAddRef(0x3f800000u, 0xbf800000u), 0x00000000u);
+  EXPECT_EQ(fpMulRef(0x00000000u, 0xbf800000u), 0x80000000u);
+  // Overflow saturates to the Inf encoding.
+  EXPECT_EQ(fpMulRef(0x7f7fffffu, 0x7f7fffffu), 0x7f800000u);
+  EXPECT_EQ(fpAddRef(0x7f7fffffu, 0x7f7fffffu), 0x7f800000u);
+  // Underflow flushes to signed zero.
+  EXPECT_EQ(fpMulRef(0x00800000u, 0x00800000u), 0x00000000u);
+  EXPECT_EQ(fpMulRef(0x80800000u, 0x00800000u), 0x80000000u);
+}
+
+TEST(FpRefSemanticsTest, Commutativity) {
+  util::Rng rng(205);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint32_t a = randomFloatBits(rng, 1, 254);
+    const std::uint32_t b = randomFloatBits(rng, 1, 254);
+    EXPECT_EQ(fpAddRef(a, b), fpAddRef(b, a));
+    EXPECT_EQ(fpMulRef(a, b), fpMulRef(b, a));
+  }
+}
+
+TEST(FpFuStructureTest, FpUnitsAreDeeperThanIntAdd) {
+  const int int_add_depth = buildFu(FuKind::kIntAdd).depth();
+  EXPECT_GT(buildFu(FuKind::kFpAdd).depth(), int_add_depth);
+  EXPECT_GT(buildFu(FuKind::kFpMul).depth(), int_add_depth);
+}
+
+}  // namespace
+}  // namespace tevot::circuits

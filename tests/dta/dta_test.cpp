@@ -1,0 +1,131 @@
+// Dynamic timing analysis tests: trace shape, sample/transition
+// bookkeeping, error-rate semantics at different clocks, base-clock
+// derivation, and the exact-latched-value vs delay-criterion
+// relationship the paper's ground truth relies on.
+#include "dta/dta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/fu.hpp"
+#include "tevot/pipeline.hpp"
+
+namespace tevot::dta {
+namespace {
+
+DtaTrace makeTrace(circuits::FuKind kind, std::size_t cycles,
+                   liberty::Corner corner, std::uint64_t seed = 55,
+                   DtaOptions options = {}) {
+  core::FuContext context(kind);
+  util::Rng rng(seed);
+  const Workload workload = randomWorkloadFor(kind, cycles, rng);
+  return context.characterize(corner, workload, options);
+}
+
+TEST(DtaTest, TraceShapeAndTransitions) {
+  core::FuContext context(circuits::FuKind::kIntAdd);
+  util::Rng rng(56);
+  const Workload workload =
+      randomWorkloadFor(circuits::FuKind::kIntAdd, 40, rng);
+  const DtaTrace trace = context.characterize({0.9, 50.0}, workload);
+  ASSERT_EQ(trace.samples.size(), workload.ops.size() - 1);
+  EXPECT_EQ(trace.workload_name, "random_data");
+  for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+    const DtaSample& sample = trace.samples[i];
+    EXPECT_EQ(sample.a, workload.ops[i + 1].a);
+    EXPECT_EQ(sample.prev_a, workload.ops[i].a);
+    EXPECT_EQ(sample.b, workload.ops[i + 1].b);
+    EXPECT_EQ(sample.prev_b, workload.ops[i].b);
+    // Settled word always the functional result.
+    EXPECT_EQ(sample.settled_word,
+              circuits::fuReference(circuits::FuKind::kIntAdd, sample.a,
+                                    sample.b));
+  }
+  EXPECT_GT(trace.sim_events, 0u);
+}
+
+TEST(DtaTest, NeedsTwoOps) {
+  core::FuContext context(circuits::FuKind::kIntAdd);
+  Workload workload;
+  workload.ops = {{1, 2}};
+  EXPECT_THROW(context.characterize({0.9, 50.0}, workload),
+               std::invalid_argument);
+}
+
+TEST(DtaTest, DelayStatsAndBaseClock) {
+  const DtaTrace trace =
+      makeTrace(circuits::FuKind::kIntAdd, 300, {0.9, 50.0});
+  const auto stats = trace.delayStats();
+  EXPECT_EQ(stats.count(), trace.samples.size());
+  EXPECT_GT(trace.meanDelayPs(), 0.0);
+  EXPECT_GE(trace.maxDelayPs(), trace.meanDelayPs());
+  EXPECT_DOUBLE_EQ(trace.baseClockPs(), trace.maxDelayPs());
+  EXPECT_DOUBLE_EQ(stats.max(), trace.maxDelayPs());
+}
+
+TEST(DtaTest, ErrorRateMonotoneInClock) {
+  const DtaTrace trace =
+      makeTrace(circuits::FuKind::kIntMul, 400, {0.85, 25.0});
+  const double base = trace.baseClockPs();
+  // At (or above) the base clock: error-free.
+  EXPECT_DOUBLE_EQ(trace.timingErrorRate(base + 0.001), 0.0);
+  double previous = 0.0;
+  for (const double speedup : {0.05, 0.10, 0.15, 0.30, 0.60}) {
+    const double ter =
+        trace.timingErrorRate(speedupClockPs(base, speedup));
+    EXPECT_GE(ter, previous) << "speedup " << speedup;
+    previous = ter;
+  }
+  // At an absurdly fast clock nearly everything errs.
+  EXPECT_GT(trace.timingErrorRate(base / 4.0), 0.5);
+}
+
+TEST(DtaTest, LatchedErrorImpliesDelayExceeded) {
+  // Exact (latched-value) errors can only happen when D[t] > tclk;
+  // the converse need not hold (a late toggle can recreate the same
+  // bit value). This is the relationship between the two error
+  // definitions the paper glosses over.
+  const DtaTrace trace =
+      makeTrace(circuits::FuKind::kFpAdd, 250, {0.82, 0.0});
+  const double tclk = speedupClockPs(trace.baseClockPs(), 0.10);
+  std::size_t latched_errors = 0, delay_exceeded = 0;
+  for (const DtaSample& sample : trace.samples) {
+    const bool latched = sample.timingError(tclk);
+    const bool exceeded = sample.delay_ps > tclk;
+    if (latched) {
+      ++latched_errors;
+      EXPECT_TRUE(exceeded);
+    }
+    if (exceeded) ++delay_exceeded;
+  }
+  EXPECT_LE(latched_errors, delay_exceeded);
+}
+
+TEST(DtaTest, WithoutTogglesFallsBackToDelayCriterion) {
+  DtaOptions options;
+  options.keep_toggles = false;
+  const DtaTrace trace = makeTrace(circuits::FuKind::kIntAdd, 200,
+                                   {0.85, 50.0}, 57, options);
+  const double tclk = speedupClockPs(trace.baseClockPs(), 0.10);
+  for (const DtaSample& sample : trace.samples) {
+    EXPECT_TRUE(sample.toggles.empty());
+    EXPECT_EQ(sample.timingError(tclk), sample.delay_ps > tclk);
+  }
+}
+
+TEST(DtaTest, SpeedupClockMath) {
+  EXPECT_DOUBLE_EQ(speedupClockPs(1000.0, 0.0), 1000.0);
+  EXPECT_NEAR(speedupClockPs(1000.0, 0.05), 952.38, 0.01);
+  EXPECT_NEAR(speedupClockPs(1000.0, 0.15), 869.57, 0.01);
+  EXPECT_THROW(speedupClockPs(1000.0, -1.5), std::invalid_argument);
+}
+
+TEST(DtaTest, VoltageLowersDelaysConsistently) {
+  const DtaTrace slow =
+      makeTrace(circuits::FuKind::kIntAdd, 250, {0.81, 25.0}, 58);
+  const DtaTrace fast =
+      makeTrace(circuits::FuKind::kIntAdd, 250, {1.00, 25.0}, 58);
+  EXPECT_GT(slow.meanDelayPs(), fast.meanDelayPs() * 1.4);
+}
+
+}  // namespace
+}  // namespace tevot::dta

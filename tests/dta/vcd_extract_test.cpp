@@ -1,0 +1,80 @@
+// VCD delay-extraction unit tests on hand-built VcdData, covering the
+// window arithmetic, redundant-record filtering, and out-of-range
+// changes that the integration test (sim/vcd_dump_test) cannot probe
+// in isolation.
+#include "dta/vcd_extract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tevot::dta {
+namespace {
+
+vcd::VcdData twoSignalData() {
+  vcd::VcdData data;
+  data.timescale = "1ps";
+  data.signal_names = {"q0", "q1"};
+  return data;
+}
+
+TEST(VcdExtractTest, LastToggleInWindowWins) {
+  vcd::VcdData data = twoSignalData();
+  // Window size 1000: dumped cycle k occupies [(k+1)*1000, (k+2)*1000).
+  data.changes = {
+      {1100, 0, true},   // cycle 0, offset 100
+      {1450, 1, true},   // cycle 0, offset 450  <- latest
+      {2200, 0, false},  // cycle 1, offset 200
+  };
+  const std::vector<double> delays =
+      extractDelaysFromVcd(data, 1000.0, 3);
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_DOUBLE_EQ(delays[0], 450.0);
+  EXPECT_DOUBLE_EQ(delays[1], 200.0);
+  EXPECT_DOUBLE_EQ(delays[2], 0.0);  // quiet cycle
+}
+
+TEST(VcdExtractTest, RedundantRecordsIgnored) {
+  vcd::VcdData data = twoSignalData();
+  data.changes = {
+      {1100, 0, true},
+      {1500, 0, true},  // same value again: not a toggle
+  };
+  const std::vector<double> delays =
+      extractDelaysFromVcd(data, 1000.0, 1);
+  EXPECT_DOUBLE_EQ(delays[0], 100.0);
+}
+
+TEST(VcdExtractTest, PrerollWindowExcluded) {
+  vcd::VcdData data = twoSignalData();
+  data.changes = {
+      {0, 0, true},    // initial-value correction in the pre-roll
+      {500, 1, true},  // pre-roll activity
+      {1300, 1, false},
+  };
+  const std::vector<double> delays =
+      extractDelaysFromVcd(data, 1000.0, 2);
+  EXPECT_DOUBLE_EQ(delays[0], 300.0);
+  EXPECT_DOUBLE_EQ(delays[1], 0.0);
+}
+
+TEST(VcdExtractTest, ChangesBeyondRequestedCyclesIgnored) {
+  vcd::VcdData data = twoSignalData();
+  data.changes = {
+      {1100, 0, true},
+      {9100, 1, true},  // window 9 -> cycle 8, outside the 2 requested
+  };
+  const std::vector<double> delays =
+      extractDelaysFromVcd(data, 1000.0, 2);
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_DOUBLE_EQ(delays[0], 100.0);
+  EXPECT_DOUBLE_EQ(delays[1], 0.0);
+}
+
+TEST(VcdExtractTest, EmptyDataYieldsZeros) {
+  const vcd::VcdData data = twoSignalData();
+  const std::vector<double> delays =
+      extractDelaysFromVcd(data, 1000.0, 4);
+  for (const double delay : delays) EXPECT_DOUBLE_EQ(delay, 0.0);
+}
+
+}  // namespace
+}  // namespace tevot::dta

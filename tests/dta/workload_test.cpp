@@ -1,0 +1,96 @@
+// Workload generator tests: determinism, value-domain contracts, and
+// the block-sampling resize semantics the calibration paths rely on.
+#include "dta/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tevot::dta {
+namespace {
+
+TEST(WorkloadTest, RandomBitDeterministicPerSeed) {
+  util::Rng a(5), b(5);
+  const Workload wa = randomBitWorkload(100, a);
+  const Workload wb = randomBitWorkload(100, b);
+  ASSERT_EQ(wa.ops.size(), 100u);
+  for (std::size_t i = 0; i < wa.ops.size(); ++i) {
+    EXPECT_EQ(wa.ops[i].a, wb.ops[i].a);
+    EXPECT_EQ(wa.ops[i].b, wb.ops[i].b);
+  }
+  EXPECT_EQ(wa.name, "random_data");
+}
+
+TEST(WorkloadTest, RandomFloatExponentRange) {
+  util::Rng rng(7);
+  const Workload workload = randomFloatWorkload(500, rng, 110, 140);
+  for (const OperandPair& op : workload.ops) {
+    for (const std::uint32_t word : {op.a, op.b}) {
+      const std::uint32_t exponent = (word >> 23) & 0xff;
+      EXPECT_GE(exponent, 110u);
+      EXPECT_LE(exponent, 140u);
+    }
+  }
+}
+
+TEST(WorkloadTest, RandomFloatRejectsBadRange) {
+  util::Rng rng(7);
+  EXPECT_THROW(randomFloatWorkload(10, rng, 0, 100),
+               std::invalid_argument);
+  EXPECT_THROW(randomFloatWorkload(10, rng, 200, 100),
+               std::invalid_argument);
+  EXPECT_THROW(randomFloatWorkload(10, rng, 100, 255),
+               std::invalid_argument);
+}
+
+TEST(WorkloadTest, RandomForFuPicksDomain) {
+  util::Rng rng(11);
+  const Workload int_wl =
+      randomWorkloadFor(circuits::FuKind::kIntMul, 50, rng);
+  EXPECT_EQ(int_wl.ops.size(), 50u);
+  const Workload fp_wl =
+      randomWorkloadFor(circuits::FuKind::kFpAdd, 50, rng);
+  for (const OperandPair& op : fp_wl.ops) {
+    const std::uint32_t exponent = (op.a >> 23) & 0xff;
+    EXPECT_GE(exponent, 110u);
+    EXPECT_LE(exponent, 140u);
+  }
+}
+
+TEST(WorkloadTest, ResizeRepeatsWhenGrowing) {
+  Workload base;
+  base.name = "w";
+  base.ops = {{1, 2}, {3, 4}, {5, 6}};
+  const Workload grown = resizeWorkload(base, 7);
+  ASSERT_EQ(grown.ops.size(), 7u);
+  EXPECT_EQ(grown.ops[0].a, 1u);
+  EXPECT_EQ(grown.ops[3].a, 1u);  // wrapped
+  EXPECT_EQ(grown.ops[6].a, 1u);
+  EXPECT_EQ(grown.name, "w");
+}
+
+TEST(WorkloadTest, ResizeShrinkSamplesAcrossStream) {
+  Workload base;
+  base.name = "w";
+  for (std::uint32_t i = 0; i < 1000; ++i) base.ops.push_back({i, i});
+  const Workload shrunk = resizeWorkload(base, 64);
+  ASSERT_EQ(shrunk.ops.size(), 64u);
+  // Block sampling must reach well past a pure prefix.
+  std::uint32_t max_index = 0;
+  for (const OperandPair& op : shrunk.ops) {
+    max_index = std::max(max_index, op.a);
+  }
+  EXPECT_GT(max_index, 800u);
+  // Blocks preserve local adjacency (consecutive ops inside a block).
+  int adjacent = 0;
+  for (std::size_t i = 1; i < shrunk.ops.size(); ++i) {
+    if (shrunk.ops[i].a == shrunk.ops[i - 1].a + 1) ++adjacent;
+  }
+  EXPECT_GT(adjacent, 40);
+}
+
+TEST(WorkloadTest, ResizeEmptyThrows) {
+  Workload base;
+  EXPECT_THROW(resizeWorkload(base, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::dta

@@ -1,0 +1,70 @@
+// Default cell-library sanity: positive delays, load dependence, and
+// the expected pecking order between cell families.
+#include "liberty/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tevot::liberty {
+namespace {
+
+using netlist::CellKind;
+
+TEST(CellLibraryTest, AllCombinationalCellsHavePositiveDelay) {
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  for (int k = 0; k < netlist::kCellKindCount; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (kind == CellKind::kConst0 || kind == CellKind::kConst1) {
+      EXPECT_EQ(lib.riseDelayPs(kind, 1), 0.0);
+      continue;
+    }
+    EXPECT_GT(lib.riseDelayPs(kind, 1), 0.0) << netlist::cellName(kind);
+    EXPECT_GT(lib.fallDelayPs(kind, 1), 0.0) << netlist::cellName(kind);
+  }
+}
+
+TEST(CellLibraryTest, DelayGrowsWithFanout) {
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  EXPECT_LT(lib.riseDelayPs(CellKind::kInv, 1),
+            lib.riseDelayPs(CellKind::kInv, 4));
+  EXPECT_LT(lib.fallDelayPs(CellKind::kNand2, 2),
+            lib.fallDelayPs(CellKind::kNand2, 8));
+}
+
+TEST(CellLibraryTest, FamilyPeckingOrder) {
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  // Inverter fastest; NAND faster than AND (extra inverter);
+  // XOR slowest of the two-input cells.
+  EXPECT_LT(lib.riseDelayPs(CellKind::kInv, 2),
+            lib.riseDelayPs(CellKind::kNand2, 2));
+  EXPECT_LT(lib.riseDelayPs(CellKind::kNand2, 2),
+            lib.riseDelayPs(CellKind::kAnd2, 2));
+  EXPECT_LT(lib.riseDelayPs(CellKind::kAnd2, 2),
+            lib.riseDelayPs(CellKind::kXor2, 2));
+  // Three-input variants slower than two-input.
+  EXPECT_LT(lib.riseDelayPs(CellKind::kXor2, 2),
+            lib.riseDelayPs(CellKind::kXor3, 2));
+}
+
+TEST(CellLibraryTest, SetTimingOverrides) {
+  CellLibrary lib = CellLibrary::defaultLibrary();
+  lib.setTiming(CellKind::kInv, CellTiming{100.0, 90.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(lib.riseDelayPs(CellKind::kInv, 2), 102.0);
+  EXPECT_DOUBLE_EQ(lib.fallDelayPs(CellKind::kInv, 2), 92.0);
+}
+
+TEST(CellLibraryTest, VtSensitivitySpread) {
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  // Simple gates below library average, compound gates above.
+  EXPECT_LT(lib.vtSensitivity(CellKind::kInv).alpha_delta, 0.0);
+  EXPECT_GT(lib.vtSensitivity(CellKind::kXor3).alpha_delta, 0.0);
+  EXPECT_GT(lib.vtSensitivity(CellKind::kMaj3).alpha_delta, 0.0);
+  // Spread stays small (within +-10% of nominal alpha 1.8).
+  for (int k = 0; k < netlist::kCellKindCount; ++k) {
+    const auto& s = lib.vtSensitivity(static_cast<CellKind>(k));
+    EXPECT_LT(std::abs(s.alpha_delta), 0.18);
+    EXPECT_LT(std::abs(s.mobility_delta), 0.14);
+  }
+}
+
+}  // namespace
+}  // namespace tevot::liberty

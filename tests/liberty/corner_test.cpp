@@ -1,0 +1,108 @@
+// Corner annotation tests: determinism, nominal-corner equality with
+// the raw library numbers (jitter is normalized out at nominal), and
+// the corner-to-corner reordering the per-instance variation exists
+// to produce.
+#include "liberty/corner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/int_add.hpp"
+
+namespace tevot::liberty {
+namespace {
+
+netlist::Netlist smallCircuit() {
+  return tevot::circuits::buildIntAdd(8,
+                                      tevot::circuits::AdderArch::kRipple);
+}
+
+TEST(CornerTest, DeterministicAnnotation) {
+  const netlist::Netlist nl = smallCircuit();
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  const VtModel model;
+  const Corner corner{0.85, 75.0};
+  const CornerDelays a = annotateCorner(nl, lib, model, corner);
+  const CornerDelays b = annotateCorner(nl, lib, model, corner);
+  ASSERT_EQ(a.gateCount(), nl.gateCount());
+  for (std::size_t g = 0; g < a.gateCount(); ++g) {
+    EXPECT_EQ(a.rise_ps[g], b.rise_ps[g]);
+    EXPECT_EQ(a.fall_ps[g], b.fall_ps[g]);
+  }
+}
+
+TEST(CornerTest, NominalCornerMatchesLibraryExactly) {
+  const netlist::Netlist nl = smallCircuit();
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  const VtModel model;
+  const CornerDelays delays = annotateCorner(
+      nl, lib, model, Corner{model.params().vnom, model.params().tnom_c});
+  for (netlist::GateId g = 0; g < nl.gateCount(); ++g) {
+    const netlist::Gate& gate = nl.gate(g);
+    const int fanout = static_cast<int>(nl.fanout(gate.out).size());
+    EXPECT_NEAR(delays.rise_ps[g], lib.riseDelayPs(gate.kind, fanout),
+                1e-9);
+    EXPECT_NEAR(delays.fall_ps[g], lib.fallDelayPs(gate.kind, fanout),
+                1e-9);
+  }
+}
+
+TEST(CornerTest, LowVoltageSlowsEveryGate) {
+  const netlist::Netlist nl = smallCircuit();
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  const VtModel model;
+  const CornerDelays nominal =
+      annotateCorner(nl, lib, model, Corner{1.00, 25.0});
+  const CornerDelays low = annotateCorner(nl, lib, model, Corner{0.81, 25.0});
+  for (std::size_t g = 0; g < nominal.gateCount(); ++g) {
+    if (nominal.rise_ps[g] == 0.0) continue;  // constants
+    EXPECT_GT(low.rise_ps[g], nominal.rise_ps[g]);
+    EXPECT_GT(low.fall_ps[g], nominal.fall_ps[g]);
+  }
+}
+
+TEST(CornerTest, InstanceVariationReordersGatesAcrossCorners) {
+  // Two gates of the same kind and fanout have equal nominal delay
+  // but different local Vth; at low voltage their delays separate,
+  // and the *ratio* between two different gates changes from corner
+  // to corner — the mechanism behind per-condition timing
+  // personalities.
+  const netlist::Netlist nl = smallCircuit();
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  const VtModel model;
+  const CornerDelays low = annotateCorner(nl, lib, model, Corner{0.81, 0.0});
+  const CornerDelays high =
+      annotateCorner(nl, lib, model, Corner{1.00, 100.0});
+  int ratio_changes = 0;
+  for (std::size_t g = 1; g < low.gateCount(); ++g) {
+    if (low.rise_ps[g - 1] == 0.0 || low.rise_ps[g] == 0.0) continue;
+    const double ratio_low = low.rise_ps[g] / low.rise_ps[g - 1];
+    const double ratio_high = high.rise_ps[g] / high.rise_ps[g - 1];
+    if (std::abs(ratio_low - ratio_high) > 1e-3) ++ratio_changes;
+  }
+  EXPECT_GT(ratio_changes, 10);
+}
+
+TEST(CornerTest, DisablingJitterRemovesInstanceSpread) {
+  const netlist::Netlist nl = smallCircuit();
+  const CellLibrary lib = CellLibrary::defaultLibrary();
+  VtParams params;
+  params.vth_sigma = 0.0;
+  const VtModel model(params);
+  const CornerDelays low = annotateCorner(nl, lib, model, Corner{0.81, 0.0});
+  // With jitter off, same-kind same-fanout gates are identical.
+  double reference = -1.0;
+  for (netlist::GateId g = 0; g < nl.gateCount(); ++g) {
+    const netlist::Gate& gate = nl.gate(g);
+    if (gate.kind != netlist::CellKind::kMaj3) continue;
+    if (nl.fanout(gate.out).size() != 2) continue;
+    if (reference < 0.0) {
+      reference = low.rise_ps[g];
+    } else {
+      EXPECT_DOUBLE_EQ(low.rise_ps[g], reference);
+    }
+  }
+  EXPECT_GT(reference, 0.0);
+}
+
+}  // namespace
+}  // namespace tevot::liberty

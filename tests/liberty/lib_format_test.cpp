@@ -1,0 +1,116 @@
+// Liberty writer/parser tests: bit-exact round-trip of the default
+// library + VT parameters, tolerance of ignorable attributes, and
+// rejection of unsupported constructs.
+#include "liberty/lib_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace tevot::liberty {
+namespace {
+
+LibertyLibrary defaultLib() {
+  LibertyLibrary library;
+  library.cells = CellLibrary::defaultLibrary();
+  library.vt_params = VtParams{};
+  return library;
+}
+
+TEST(LibFormatTest, RoundTripBitExact) {
+  const LibertyLibrary original = defaultLib();
+  const LibertyLibrary parsed =
+      parseLibertyString(toLibertyString(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.vt_params.vnom, original.vt_params.vnom);
+  EXPECT_EQ(parsed.vt_params.tnom_c, original.vt_params.tnom_c);
+  EXPECT_EQ(parsed.vt_params.vth0, original.vt_params.vth0);
+  EXPECT_EQ(parsed.vt_params.dvth_dt, original.vt_params.dvth_dt);
+  EXPECT_EQ(parsed.vt_params.alpha, original.vt_params.alpha);
+  EXPECT_EQ(parsed.vt_params.mobility_exponent,
+            original.vt_params.mobility_exponent);
+  EXPECT_EQ(parsed.vt_params.vth_sigma, original.vt_params.vth_sigma);
+  for (int k = 0; k < netlist::kCellKindCount; ++k) {
+    const auto kind = static_cast<netlist::CellKind>(k);
+    const CellTiming& a = original.cells.timing(kind);
+    const CellTiming& b = parsed.cells.timing(kind);
+    EXPECT_EQ(a.intrinsic_rise_ps, b.intrinsic_rise_ps)
+        << netlist::cellName(kind);
+    EXPECT_EQ(a.intrinsic_fall_ps, b.intrinsic_fall_ps);
+    EXPECT_EQ(a.slope_rise_ps, b.slope_rise_ps);
+    EXPECT_EQ(a.slope_fall_ps, b.slope_fall_ps);
+    EXPECT_EQ(original.cells.vtSensitivity(kind).alpha_delta,
+              parsed.cells.vtSensitivity(kind).alpha_delta);
+    EXPECT_EQ(original.cells.vtSensitivity(kind).mobility_delta,
+              parsed.cells.vtSensitivity(kind).mobility_delta);
+  }
+}
+
+TEST(LibFormatTest, WriterEmitsLibertyConstructs) {
+  const std::string text = toLibertyString(defaultLib());
+  EXPECT_NE(text.find("library (tevot45) {"), std::string::npos);
+  EXPECT_NE(text.find("delay_model : generic_cmos;"), std::string::npos);
+  EXPECT_NE(text.find("cell (NAND2) {"), std::string::npos);
+  EXPECT_NE(text.find("intrinsic_rise"), std::string::npos);
+  EXPECT_NE(text.find("rise_resistance"), std::string::npos);
+}
+
+TEST(LibFormatTest, IgnorableAttributesAccepted) {
+  const std::string text = R"(
+    /* comment */
+    library (mini) {
+      nom_voltage : 0.9;
+      some_vendor_attribute : whatever;
+      cell (INV) {
+        area : 1.5;
+        pin (Y) {
+          direction : output;
+          capacitance : 0.01;
+          timing () {
+            intrinsic_rise : 12.5;
+            intrinsic_fall : 11;
+            rise_resistance : 3;
+            fall_resistance : 2.5;
+          }
+        }
+      }
+    }
+  )";
+  const LibertyLibrary library = parseLibertyString(text);
+  EXPECT_EQ(library.name, "mini");
+  EXPECT_DOUBLE_EQ(library.vt_params.vnom, 0.9);
+  EXPECT_DOUBLE_EQ(
+      library.cells.timing(netlist::CellKind::kInv).intrinsic_rise_ps,
+      12.5);
+  EXPECT_DOUBLE_EQ(
+      library.cells.timing(netlist::CellKind::kInv).slope_fall_ps, 2.5);
+}
+
+TEST(LibFormatTest, RejectsBadInput) {
+  EXPECT_THROW(parseLibertyString(""), std::runtime_error);
+  EXPECT_THROW(parseLibertyString("module x ();"), std::runtime_error);
+  EXPECT_THROW(parseLibertyString("library (x) { cell (NOPE) { } }"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parseLibertyString("library (x) { nom_voltage : abc; }"),
+      std::runtime_error);
+  EXPECT_THROW(parseLibertyString(
+                   "library (x) { cell (INV) { pin (Y) { timing () { "
+                   "cell_rise : 1; } } } }"),
+               std::runtime_error);
+}
+
+TEST(LibFormatTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tevot_test.lib";
+  writeLibertyFile(path, defaultLib());
+  const LibertyLibrary parsed = parseLibertyFile(path);
+  EXPECT_EQ(parsed.cells.timing(netlist::CellKind::kXor2).intrinsic_rise_ps,
+            CellLibrary::defaultLibrary()
+                .timing(netlist::CellKind::kXor2)
+                .intrinsic_rise_ps);
+  std::remove(path.c_str());
+  EXPECT_THROW(parseLibertyFile(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tevot::liberty

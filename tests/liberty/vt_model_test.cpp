@@ -1,0 +1,114 @@
+// V/T scaling model properties: normalization, monotonicity in
+// voltage, the inverse-temperature-dependence crossover inside the
+// operating window, and the per-kind/per-instance adjustment hooks.
+#include "liberty/vt_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tevot::liberty {
+namespace {
+
+TEST(VtModelTest, NormalizedAtNominal) {
+  const VtModel model;
+  EXPECT_NEAR(model.scale(model.params().vnom, model.params().tnom_c), 1.0,
+              1e-12);
+}
+
+TEST(VtModelTest, DelayDecreasesWithVoltage) {
+  const VtModel model;
+  for (const double t : {0.0, 25.0, 50.0, 100.0}) {
+    double previous = model.scale(0.81, t);
+    for (double v = 0.82; v <= 1.001; v += 0.01) {
+      const double current = model.scale(v, t);
+      EXPECT_LT(current, previous) << "V=" << v << " T=" << t;
+      previous = current;
+    }
+  }
+}
+
+TEST(VtModelTest, InverseTemperatureDependence) {
+  const VtModel model;
+  // Low voltage: hotter is faster.
+  EXPECT_LT(model.scale(0.81, 100.0), model.scale(0.81, 0.0));
+  // Nominal voltage: hotter is slower.
+  EXPECT_GT(model.scale(1.00, 100.0), model.scale(1.00, 0.0));
+}
+
+TEST(VtModelTest, CrossoverInsideOperatingWindow) {
+  const VtModel model;
+  const double crossover = model.itdCrossoverVoltage(25.0);
+  EXPECT_GT(crossover, 0.81);
+  EXPECT_LT(crossover, 1.00);
+}
+
+TEST(VtModelTest, NoItdWithoutVthSlope) {
+  VtParams params;
+  params.dvth_dt = 0.0;
+  const VtModel model(params);
+  // Mobility-only: hotter is slower at every voltage.
+  EXPECT_GT(model.scale(0.81, 100.0), model.scale(0.81, 0.0));
+  EXPECT_GT(model.scale(1.00, 100.0), model.scale(1.00, 0.0));
+  EXPECT_THROW(model.itdCrossoverVoltage(25.0), std::logic_error);
+}
+
+TEST(VtModelTest, ThrowsBelowThreshold) {
+  const VtModel model;
+  EXPECT_THROW(model.scale(0.40, 25.0), std::domain_error);
+}
+
+TEST(VtModelTest, VthTracksTemperature) {
+  const VtModel model;
+  const double cold = model.vth(0.0);
+  const double hot = model.vth(100.0);
+  EXPECT_GT(cold, hot);  // dVth/dT < 0
+  EXPECT_NEAR(cold - hot, -model.params().dvth_dt * 100.0, 1e-12);
+}
+
+TEST(VtModelTest, AdjustedScaleNormalizedAndOrdered) {
+  const VtModel model;
+  // Normalization holds for any deltas.
+  EXPECT_NEAR(model.scaleAdjusted(1.0, 25.0, 0.1, 0.05), 1.0, 1e-12);
+  EXPECT_NEAR(model.scaleWithDeltas(1.0, 25.0, 0.1, 0.05, 0.02), 1.0,
+              1e-12);
+  // Larger alpha => more voltage-sensitive at low V.
+  EXPECT_GT(model.scaleAdjusted(0.81, 25.0, 0.1, 0.0),
+            model.scaleAdjusted(0.81, 25.0, -0.1, 0.0));
+  // Higher local Vth => slower at low V.
+  EXPECT_GT(model.scaleWithDeltas(0.81, 25.0, 0.0, 0.0, 0.02),
+            model.scaleWithDeltas(0.81, 25.0, 0.0, 0.0, -0.02));
+  // Zero deltas fall back to the plain scale.
+  EXPECT_EQ(model.scaleAdjusted(0.85, 60.0, 0.0, 0.0),
+            model.scale(0.85, 60.0));
+}
+
+TEST(VtModelTest, VoltageSwingMagnitude) {
+  // The 0.81 V / 1.00 V delay ratio should be in the realistic
+  // 1.5x-2.2x band the paper's Fig. 3 implies.
+  const VtModel model;
+  const double ratio = model.scale(0.81, 25.0) / model.scale(1.00, 25.0);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.2);
+}
+
+class VtGridParamTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(VtGridParamTest, ScalePositiveAndFiniteAcrossGrid) {
+  const VtModel model;
+  const auto [v, t] = GetParam();
+  const double scale = model.scale(v, t);
+  EXPECT_GT(scale, 0.3);
+  EXPECT_LT(scale, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOneCorners, VtGridParamTest,
+    ::testing::Values(std::pair{0.81, 0.0}, std::pair{0.81, 100.0},
+                      std::pair{0.90, 0.0}, std::pair{0.90, 50.0},
+                      std::pair{0.95, 75.0}, std::pair{1.00, 0.0},
+                      std::pair{1.00, 100.0}));
+
+}  // namespace
+}  // namespace tevot::liberty

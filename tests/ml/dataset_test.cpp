@@ -1,0 +1,101 @@
+// Matrix / Dataset / StandardScaler tests.
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tevot::ml {
+namespace {
+
+TEST(MatrixTest, AppendAndAccess) {
+  Matrix m;
+  const float r0[3] = {1, 2, 3};
+  const float r1[3] = {4, 5, 6};
+  m.appendRow({r0, 3});
+  m.appendRow({r1, 3});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(0, 1), 2.0f);
+  EXPECT_EQ(m.at(1, 2), 6.0f);
+  m.at(1, 0) = 9.0f;
+  EXPECT_EQ(m.row(1)[0], 9.0f);
+}
+
+TEST(MatrixTest, ColumnMismatchThrows) {
+  Matrix m;
+  const float r0[2] = {1, 2};
+  m.appendRow({r0, 2});
+  const float r1[3] = {1, 2, 3};
+  EXPECT_THROW(m.appendRow({r1, 3}), std::invalid_argument);
+}
+
+TEST(DatasetTest, AppendAndSubset) {
+  Dataset data;
+  for (int i = 0; i < 6; ++i) {
+    const float row[2] = {static_cast<float>(i),
+                          static_cast<float>(i * i)};
+    data.append({row, 2}, static_cast<float>(i % 2));
+  }
+  EXPECT_EQ(data.size(), 6u);
+  EXPECT_EQ(data.features(), 2u);
+  const std::size_t pick[3] = {0, 2, 5};
+  const Dataset sub = data.subset({pick, 3});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.x.at(1, 0), 2.0f);
+  EXPECT_EQ(sub.y[2], 1.0f);
+}
+
+TEST(DatasetTest, TrainTestSplitPartitions) {
+  Dataset data;
+  for (int i = 0; i < 100; ++i) {
+    const float row[1] = {static_cast<float>(i)};
+    data.append({row, 1}, static_cast<float>(i));
+  }
+  util::Rng rng(3);
+  const SplitResult split = trainTestSplit(data, 0.7, rng);
+  EXPECT_EQ(split.train.size(), 70u);
+  EXPECT_EQ(split.test.size(), 30u);
+  // All rows present exactly once.
+  std::vector<bool> seen(100, false);
+  for (const Dataset* part : {&split.train, &split.test}) {
+    for (std::size_t r = 0; r < part->size(); ++r) {
+      const auto index = static_cast<std::size_t>(part->x.at(r, 0));
+      EXPECT_FALSE(seen[index]);
+      seen[index] = true;
+    }
+  }
+  EXPECT_THROW(trainTestSplit(data, 1.5, rng), std::invalid_argument);
+}
+
+TEST(ScalerTest, StandardizesColumns) {
+  Matrix m;
+  for (int i = 0; i < 50; ++i) {
+    const float row[2] = {static_cast<float>(i), 7.0f};  // col1 constant
+    m.appendRow({row, 2});
+  }
+  StandardScaler scaler;
+  scaler.fit(m);
+  const Matrix scaled = scaler.transform(m);
+  double sum = 0.0, sumsq = 0.0;
+  for (std::size_t r = 0; r < scaled.rows(); ++r) {
+    sum += scaled.at(r, 0);
+    sumsq += scaled.at(r, 0) * scaled.at(r, 0);
+    // Constant columns pass through shifted to zero, unscaled.
+    EXPECT_FLOAT_EQ(scaled.at(r, 1), 0.0f);
+  }
+  EXPECT_NEAR(sum / 50.0, 0.0, 1e-5);
+  EXPECT_NEAR(sumsq / 50.0, 1.0, 1e-4);
+}
+
+TEST(ScalerTest, NotFittedThrows) {
+  StandardScaler scaler;
+  Matrix m;
+  const float row[1] = {1.0f};
+  m.appendRow({row, 1});
+  EXPECT_THROW(scaler.transform(m), std::logic_error);
+  EXPECT_THROW(scaler.fit(Matrix()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::ml

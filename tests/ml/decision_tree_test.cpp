@@ -1,0 +1,174 @@
+// CART decision-tree tests: exact fits on separable data, XOR (the
+// interaction pattern linear models cannot express), regression on
+// piecewise-constant targets, parameter limits and error paths.
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::ml {
+namespace {
+
+Dataset xorDataset(int copies) {
+  Dataset data;
+  for (int i = 0; i < copies; ++i) {
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        const float row[2] = {static_cast<float>(a),
+                              static_cast<float>(b)};
+        data.append({row, 2}, static_cast<float>(a ^ b));
+      }
+    }
+  }
+  return data;
+}
+
+TEST(DecisionTreeTest, LearnsXorExactly) {
+  const Dataset data = xorDataset(8);
+  DecisionTree tree;
+  util::Rng rng(1);
+  tree.fit(data, TreeTask::kClassification, TreeParams{}, rng);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const float row[2] = {static_cast<float>(a),
+                            static_cast<float>(b)};
+      EXPECT_EQ(tree.predict({row, 2}), static_cast<float>(a ^ b));
+    }
+  }
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, ThresholdSplitOnRealFeature) {
+  Dataset data;
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(rng.nextDouble(0.0, 10.0));
+    const float row[1] = {v};
+    data.append({row, 1}, v > 6.25f ? 1.0f : 0.0f);
+  }
+  DecisionTree tree;
+  tree.fit(data, TreeTask::kClassification, TreeParams{}, rng);
+  const float lo[1] = {5.9f};
+  const float hi[1] = {6.6f};
+  EXPECT_EQ(tree.predict({lo, 1}), 0.0f);
+  EXPECT_EQ(tree.predict({hi, 1}), 1.0f);
+  // A single split suffices.
+  EXPECT_EQ(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, RegressionPiecewiseConstant) {
+  Dataset data;
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const float v = static_cast<float>(rng.nextDouble(0.0, 3.0));
+    const float row[1] = {v};
+    data.append({row, 1}, v < 1.0f ? 10.0f : (v < 2.0f ? 20.0f : 30.0f));
+  }
+  DecisionTree tree;
+  tree.fit(data, TreeTask::kRegression, TreeParams{}, rng);
+  const float q0[1] = {0.5f}, q1[1] = {1.5f}, q2[1] = {2.5f};
+  EXPECT_NEAR(tree.predict({q0, 1}), 10.0f, 1e-4);
+  EXPECT_NEAR(tree.predict({q1, 1}), 20.0f, 1e-4);
+  EXPECT_NEAR(tree.predict({q2, 1}), 30.0f, 1e-4);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsTree) {
+  const Dataset data = xorDataset(8);
+  DecisionTree stump;
+  util::Rng rng(4);
+  TreeParams params;
+  params.max_depth = 1;
+  stump.fit(data, TreeTask::kClassification, params, rng);
+  EXPECT_LE(stump.depth(), 2);
+  EXPECT_LE(stump.nodeCount(), 3u);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset data;
+  util::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    const float row[1] = {static_cast<float>(i)};
+    data.append({row, 1}, static_cast<float>(i % 2));
+  }
+  DecisionTree tree;
+  TreeParams params;
+  params.min_samples_leaf = 16;
+  tree.fit(data, TreeTask::kRegression, params, rng);
+  // With 64 samples and >= 16 per leaf there can be at most 4 leaves
+  // (7 nodes).
+  EXPECT_LE(tree.nodeCount(), 7u);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    const float row[1] = {static_cast<float>(i)};
+    data.append({row, 1}, 1.0f);
+  }
+  DecisionTree tree;
+  util::Rng rng(6);
+  tree.fit(data, TreeTask::kClassification, TreeParams{}, rng);
+  EXPECT_EQ(tree.nodeCount(), 1u);
+  const float q[1] = {3.0f};
+  EXPECT_EQ(tree.predict({q, 1}), 1.0f);
+}
+
+TEST(DecisionTreeTest, ErrorPaths) {
+  DecisionTree tree;
+  util::Rng rng(7);
+  Dataset empty;
+  EXPECT_THROW(
+      tree.fit(empty, TreeTask::kClassification, TreeParams{}, rng),
+      std::invalid_argument);
+  Dataset bad_labels;
+  const float row[1] = {0.0f};
+  bad_labels.append({row, 1}, 2.0f);
+  EXPECT_THROW(
+      tree.fit(bad_labels, TreeTask::kClassification, TreeParams{}, rng),
+      std::invalid_argument);
+  EXPECT_THROW(tree.predict({row, 1}), std::logic_error);
+}
+
+TEST(DecisionTreeTest, IndexSubsetTraining) {
+  const Dataset data = xorDataset(4);
+  // Train only on rows with label 1 -> constant tree.
+  std::vector<std::size_t> ones;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.y[i] == 1.0f) ones.push_back(i);
+  }
+  DecisionTree tree;
+  util::Rng rng(8);
+  tree.fit(data, TreeTask::kClassification, TreeParams{}, rng, ones);
+  const float q[2] = {0.0f, 0.0f};
+  EXPECT_EQ(tree.predict({q, 2}), 1.0f);
+}
+
+TEST(DecisionTreeTest, MaxFeaturesSubsampling) {
+  // With max_features=1 on XOR the root split is still found (both
+  // features are equally uninformative at the root; the tree must
+  // recurse rather than give up).
+  const Dataset data = xorDataset(16);
+  DecisionTree tree;
+  util::Rng rng(9);
+  TreeParams params;
+  params.max_features = 1;
+  tree.fit(data, TreeTask::kClassification, params, rng);
+  int correct = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const float row[2] = {static_cast<float>(a),
+                            static_cast<float>(b)};
+      if (tree.predict({row, 2}) == static_cast<float>(a ^ b)) ++correct;
+    }
+  }
+  // XOR with greedy axis splits and random 1-feature candidates can
+  // fail to improve impurity at the root; accept either a full fit or
+  // a majority leaf, but the tree must be well-formed.
+  EXPECT_TRUE(tree.fitted());
+  EXPECT_GE(correct, 2);
+}
+
+}  // namespace
+}  // namespace tevot::ml

@@ -1,0 +1,172 @@
+// k-NN, logistic-regression and linear-SVM tests on tasks with known
+// structure: linearly separable data (all must succeed), scale
+// robustness (standardization), and XOR (linear models must fail,
+// k-NN must succeed — the paper's Table II motivation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::ml {
+namespace {
+
+Dataset linearlySeparable(int n, std::uint64_t seed, float scale0 = 1.0f) {
+  Dataset data;
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const float x0 =
+        static_cast<float>(rng.nextDouble(-1.0, 1.0)) * scale0;
+    const float x1 = static_cast<float>(rng.nextDouble(-1.0, 1.0));
+    const float margin = 2.0f * (x0 / scale0) + x1;
+    if (margin > -0.1f && margin < 0.1f) {
+      --i;  // keep a margin band empty
+      continue;
+    }
+    const float row[2] = {x0, x1};
+    data.append({row, 2}, margin > 0 ? 1.0f : 0.0f);
+  }
+  return data;
+}
+
+Dataset xorCloud(int n, std::uint64_t seed) {
+  Dataset data;
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int a = rng.nextBool() ? 1 : 0;
+    const int b = rng.nextBool() ? 1 : 0;
+    const float row[2] = {
+        a + static_cast<float>(rng.nextDouble(-0.2, 0.2)),
+        b + static_cast<float>(rng.nextDouble(-0.2, 0.2))};
+    data.append({row, 2}, static_cast<float>(a ^ b));
+  }
+  return data;
+}
+
+TEST(KnnTest, SeparableTask) {
+  const Dataset train = linearlySeparable(400, 21);
+  const Dataset test = linearlySeparable(200, 22);
+  KnnClassifier knn(5);
+  knn.fit(train);
+  EXPECT_GT(accuracy(knn.predictBatch(test.x), test.y), 0.95);
+}
+
+TEST(KnnTest, StandardizationMakesScalesIrrelevant) {
+  // Feature 0 lives on a 1000x larger scale; without standardization
+  // it would dominate the distance and the task would still be easy,
+  // but mixing scales the other way (informative feature tiny) is the
+  // killer — check both directions work.
+  const Dataset train = linearlySeparable(400, 23, 1000.0f);
+  const Dataset test = linearlySeparable(200, 24, 1000.0f);
+  KnnClassifier knn(5);
+  knn.fit(train);
+  EXPECT_GT(accuracy(knn.predictBatch(test.x), test.y), 0.95);
+}
+
+TEST(KnnTest, SolvesXor) {
+  const Dataset train = xorCloud(400, 25);
+  const Dataset test = xorCloud(200, 26);
+  KnnClassifier knn(5);
+  knn.fit(train);
+  EXPECT_GT(accuracy(knn.predictBatch(test.x), test.y), 0.95);
+}
+
+TEST(KnnTest, KOneMemorizesTraining) {
+  const Dataset train = xorCloud(100, 27);
+  KnnClassifier knn(1);
+  knn.fit(train);
+  EXPECT_DOUBLE_EQ(accuracy(knn.predictBatch(train.x), train.y), 1.0);
+}
+
+TEST(KnnTest, ErrorPaths) {
+  KnnClassifier knn(0);
+  Dataset data;
+  const float row[1] = {0.0f};
+  data.append({row, 1}, 0.0f);
+  EXPECT_THROW(knn.fit(data), std::invalid_argument);
+  KnnClassifier unfitted(3);
+  EXPECT_THROW(unfitted.predict({row, 1}), std::logic_error);
+  KnnClassifier empty(3);
+  Dataset none;
+  EXPECT_THROW(empty.fit(none), std::invalid_argument);
+}
+
+TEST(LogisticRegressionTest, SeparableTask) {
+  const Dataset train = linearlySeparable(600, 31);
+  const Dataset test = linearlySeparable(300, 32);
+  LogisticRegression model;
+  model.fit(train);
+  EXPECT_GT(accuracy(model.predictBatch(test.x), test.y), 0.95);
+  // Probabilities are calibrated to the right side.
+  for (std::size_t r = 0; r < 50; ++r) {
+    const double p = model.predictProbability(test.x.row(r));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_EQ(p >= 0.5, test.y[r] == 1.0f)
+        << "row " << r << " p=" << p;
+  }
+}
+
+TEST(LogisticRegressionTest, CannotSolveXor) {
+  const Dataset train = xorCloud(600, 33);
+  LogisticRegression model;
+  model.fit(train);
+  const double acc = accuracy(model.predictBatch(train.x), train.y);
+  EXPECT_LT(acc, 0.75);  // linear boundary caps near chance
+}
+
+TEST(LogisticRegressionTest, WeightsExposeSignificance) {
+  // Feature 1 decides the label, feature 0 is noise: |w1| >> |w0|.
+  Dataset train;
+  util::Rng rng(34);
+  for (int i = 0; i < 500; ++i) {
+    const float x0 = static_cast<float>(rng.nextDouble(-1.0, 1.0));
+    const float x1 = static_cast<float>(rng.nextDouble(-1.0, 1.0));
+    const float row[2] = {x0, x1};
+    train.append({row, 2}, x1 > 0 ? 1.0f : 0.0f);
+  }
+  LogisticRegression model;
+  model.fit(train);
+  const auto weights = model.weights();
+  EXPECT_GT(std::abs(weights[1]), 3.0f * std::abs(weights[0]));
+}
+
+TEST(LinearSvmTest, SeparableTask) {
+  const Dataset train = linearlySeparable(600, 35);
+  const Dataset test = linearlySeparable(300, 36);
+  LinearSvm svm;
+  LinearParams params;
+  params.epochs = 60;
+  svm.fit(train, params);
+  EXPECT_GT(accuracy(svm.predictBatch(test.x), test.y), 0.95);
+  // Decision values agree in sign with predictions.
+  for (std::size_t r = 0; r < 30; ++r) {
+    EXPECT_EQ(svm.decision(test.x.row(r)) >= 0.0,
+              svm.predict(test.x.row(r)) == 1.0f);
+  }
+}
+
+TEST(LinearSvmTest, CannotSolveXor) {
+  const Dataset train = xorCloud(600, 37);
+  LinearSvm svm;
+  svm.fit(train);
+  EXPECT_LT(accuracy(svm.predictBatch(train.x), train.y), 0.82);
+}
+
+TEST(LinearModelsTest, LabelValidation) {
+  Dataset bad;
+  const float row[1] = {0.0f};
+  bad.append({row, 1}, 3.0f);
+  LogisticRegression logreg;
+  EXPECT_THROW(logreg.fit(bad), std::invalid_argument);
+  LinearSvm svm;
+  EXPECT_THROW(svm.fit(bad), std::invalid_argument);
+  EXPECT_THROW(logreg.predict({row, 1}), std::logic_error);
+  EXPECT_THROW(svm.predict({row, 1}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tevot::ml

@@ -1,0 +1,63 @@
+// Metric correctness on hand-computed cases.
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tevot::ml {
+namespace {
+
+TEST(MetricsTest, Accuracy) {
+  const std::vector<float> pred = {1, 0, 1, 1};
+  const std::vector<float> truth = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.75);
+  EXPECT_THROW(accuracy(pred, {truth.data(), 2}), std::invalid_argument);
+  EXPECT_THROW(accuracy({}, {}), std::invalid_argument);
+}
+
+TEST(MetricsTest, BinaryConfusion) {
+  const std::vector<float> pred = {1, 1, 0, 0, 1};
+  const std::vector<float> truth = {1, 0, 0, 1, 1};
+  const BinaryConfusion c = binaryConfusion(pred, truth);
+  EXPECT_EQ(c.true_positive, 2u);
+  EXPECT_EQ(c.false_positive, 1u);
+  EXPECT_EQ(c.false_negative, 1u);
+  EXPECT_EQ(c.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(c.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 2.0 / 3.0);
+  EXPECT_NEAR(c.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, ConfusionDegenerateDenominators) {
+  const std::vector<float> all_zero = {0, 0, 0};
+  const BinaryConfusion c = binaryConfusion(all_zero, all_zero);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+TEST(MetricsTest, RegressionErrors) {
+  const std::vector<float> pred = {1, 2, 3};
+  const std::vector<float> truth = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(meanSquaredError(pred, truth), (1.0 + 0.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(meanAbsoluteError(pred, truth), (1.0 + 0.0 + 2.0) / 3.0);
+}
+
+TEST(MetricsTest, R2Score) {
+  const std::vector<float> truth = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2Score(truth, truth), 1.0);
+  const std::vector<float> mean_pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(r2Score(mean_pred, truth), 0.0);
+  const std::vector<float> bad = {4, 3, 2, 1};
+  EXPECT_LT(r2Score(bad, truth), 0.0);
+  // Constant truth: perfect prediction -> 1, anything else -> 0.
+  const std::vector<float> flat = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(r2Score(flat, flat), 1.0);
+  EXPECT_DOUBLE_EQ(r2Score(truth, flat), 0.0);
+}
+
+}  // namespace
+}  // namespace tevot::ml

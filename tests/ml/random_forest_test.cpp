@@ -1,0 +1,176 @@
+// Random-forest tests: ensemble voting/averaging, determinism per
+// seed, bootstrap behaviour, and generalization beating a single tree
+// on a noisy task.
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::ml {
+namespace {
+
+/// Noisy threshold task: y = [x0 + x1 > 1] with 15% label flips.
+Dataset noisyTask(int n, std::uint64_t seed) {
+  Dataset data;
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.nextDouble());
+    const float x1 = static_cast<float>(rng.nextDouble());
+    float label = (x0 + x1 > 1.0f) ? 1.0f : 0.0f;
+    if (rng.nextBool(0.15)) label = 1.0f - label;
+    const float row[2] = {x0, x1};
+    data.append({row, 2}, label);
+  }
+  return data;
+}
+
+TEST(RandomForestTest, ClassifierBeatsSingleTreeOnNoise) {
+  const Dataset train = noisyTask(1500, 1);
+  // Clean test labels measure true generalization.
+  Dataset test;
+  util::Rng rng(2);
+  for (int i = 0; i < 800; ++i) {
+    const float x0 = static_cast<float>(rng.nextDouble());
+    const float x1 = static_cast<float>(rng.nextDouble());
+    const float row[2] = {x0, x1};
+    test.append({row, 2}, (x0 + x1 > 1.0f) ? 1.0f : 0.0f);
+  }
+
+  DecisionTree tree;
+  util::Rng tree_rng(3);
+  tree.fit(train, TreeTask::kClassification, TreeParams{}, tree_rng);
+  std::vector<float> tree_pred;
+  for (std::size_t r = 0; r < test.size(); ++r) {
+    tree_pred.push_back(tree.predict(test.x.row(r)));
+  }
+
+  RandomForestClassifier forest;
+  util::Rng forest_rng(3);
+  ForestParams params;
+  params.n_trees = 25;
+  forest.fit(train, params, forest_rng);
+  const std::vector<float> forest_pred = forest.predictBatch(test.x);
+
+  const double tree_acc = accuracy(tree_pred, test.y);
+  const double forest_acc = accuracy(forest_pred, test.y);
+  EXPECT_GT(forest_acc, tree_acc + 0.01);
+  EXPECT_GT(forest_acc, 0.9);
+}
+
+TEST(RandomForestTest, DeterministicPerSeed) {
+  const Dataset train = noisyTask(300, 5);
+  RandomForestClassifier a, b;
+  util::Rng rng_a(7), rng_b(7);
+  a.fit(train, ForestParams{}, rng_a);
+  b.fit(train, ForestParams{}, rng_b);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(a.predict(train.x.row(r)), b.predict(train.x.row(r)));
+    EXPECT_EQ(a.predictProbability(train.x.row(r)),
+              b.predictProbability(train.x.row(r)));
+  }
+}
+
+TEST(RandomForestTest, ProbabilityIsVoteFraction) {
+  const Dataset train = noisyTask(300, 9);
+  RandomForestClassifier forest;
+  util::Rng rng(11);
+  ForestParams params;
+  params.n_trees = 10;
+  forest.fit(train, params, rng);
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double p = forest.predictProbability(train.x.row(r));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    // With 10 trees the probability is a multiple of 0.1.
+    EXPECT_NEAR(p * 10.0, std::round(p * 10.0), 1e-9);
+    EXPECT_EQ(forest.predict(train.x.row(r)), p >= 0.5 ? 1.0f : 0.0f);
+  }
+}
+
+TEST(RandomForestTest, RegressorAveragesTrees) {
+  Dataset data;
+  util::Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const float v = static_cast<float>(rng.nextDouble(0.0, 1.0));
+    const float row[1] = {v};
+    data.append({row, 1}, 3.0f * v + 1.0f);
+  }
+  RandomForestRegressor forest;
+  util::Rng forest_rng(13);
+  forest.fit(data, ForestParams{}, forest_rng);
+  const std::vector<float> predictions = forest.predictBatch(data.x);
+  EXPECT_GT(r2Score(predictions, data.y), 0.95);
+  const float mid[1] = {0.5f};
+  EXPECT_NEAR(forest.predict({mid, 1}), 2.5f, 0.2f);
+}
+
+TEST(RandomForestTest, NoBootstrapUsesAllRows) {
+  const Dataset train = noisyTask(200, 15);
+  RandomForestClassifier forest;
+  util::Rng rng(17);
+  ForestParams params;
+  params.n_trees = 3;
+  params.bootstrap = false;
+  forest.fit(train, params, rng);
+  EXPECT_EQ(forest.trees().size(), 3u);
+  // Without bootstrap and with all features, all trees are identical.
+  for (std::size_t r = 0; r < 30; ++r) {
+    const double p = forest.predictProbability(train.x.row(r));
+    EXPECT_TRUE(p == 0.0 || p == 1.0);
+  }
+}
+
+TEST(RandomForestTest, FeatureImportanceConcentrates) {
+  // Feature 1 decides, feature 0 is noise: importance concentrates.
+  Dataset data;
+  util::Rng rng(21);
+  for (int i = 0; i < 400; ++i) {
+    const float x0 = static_cast<float>(rng.nextDouble());
+    const float x1 = static_cast<float>(rng.nextDouble());
+    const float row[2] = {x0, x1};
+    data.append({row, 2}, x1 > 0.5f ? 1.0f : 0.0f);
+  }
+  RandomForestClassifier forest;
+  util::Rng forest_rng(22);
+  forest.fit(data, ForestParams{}, forest_rng);
+  const std::vector<double> importance =
+      forestFeatureImportance(forest.trees(), 2);
+  EXPECT_GT(importance[1], 0.8);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+  // A wider request pads with zeros.
+  const std::vector<double> padded =
+      forestFeatureImportance(forest.trees(), 4);
+  EXPECT_EQ(padded[2], 0.0);
+  EXPECT_EQ(padded[3], 0.0);
+}
+
+TEST(RandomForestTest, SingleLeafTreeHasZeroImportance) {
+  Dataset data;
+  const float row[2] = {1.0f, 2.0f};
+  for (int i = 0; i < 5; ++i) data.append({row, 2}, 1.0f);
+  DecisionTree tree;
+  util::Rng rng(23);
+  tree.fit(data, TreeTask::kClassification, TreeParams{}, rng);
+  const std::vector<double> importance = tree.featureImportance(2);
+  EXPECT_EQ(importance[0], 0.0);
+  EXPECT_EQ(importance[1], 0.0);
+}
+
+TEST(RandomForestTest, ErrorPaths) {
+  RandomForestClassifier forest;
+  const float row[1] = {0.0f};
+  EXPECT_THROW(forest.predict({row, 1}), std::logic_error);
+  util::Rng rng(19);
+  Dataset data;
+  data.append({row, 1}, 0.0f);
+  ForestParams params;
+  params.n_trees = 0;
+  EXPECT_THROW(forest.fit(data, params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::ml

@@ -1,0 +1,110 @@
+// Forest serialization round-trips and malformed-input rejection.
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace tevot::ml {
+namespace {
+
+Dataset smallTask(std::uint64_t seed) {
+  Dataset data;
+  util::Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    const float x0 = static_cast<float>(rng.nextDouble());
+    const float x1 = static_cast<float>(rng.nextDouble());
+    const float row[2] = {x0, x1};
+    data.append({row, 2}, (x0 > x1) ? 1.0f : 0.0f);
+  }
+  return data;
+}
+
+TEST(SerializeTest, ClassifierRoundTripPredictsIdentically) {
+  const Dataset data = smallTask(41);
+  RandomForestClassifier original;
+  util::Rng rng(42);
+  original.fit(data, ForestParams{}, rng);
+
+  std::stringstream stream;
+  saveForest(stream, original);
+  const RandomForestClassifier loaded = loadForestClassifier(stream);
+  ASSERT_EQ(loaded.trees().size(), original.trees().size());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(loaded.predict(data.x.row(r)),
+              original.predict(data.x.row(r)));
+    EXPECT_EQ(loaded.predictProbability(data.x.row(r)),
+              original.predictProbability(data.x.row(r)));
+  }
+}
+
+TEST(SerializeTest, RegressorRoundTripPredictsIdentically) {
+  Dataset data;
+  util::Rng rng(43);
+  for (int i = 0; i < 150; ++i) {
+    const float v = static_cast<float>(rng.nextDouble(0.0, 5.0));
+    const float row[1] = {v};
+    data.append({row, 1}, 2.0f * v);
+  }
+  RandomForestRegressor original;
+  original.fit(data, ForestParams{}, rng);
+  std::stringstream stream;
+  saveForest(stream, original);
+  const RandomForestRegressor loaded = loadForestRegressor(stream);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(loaded.predict(data.x.row(r)),
+              original.predict(data.x.row(r)));
+  }
+}
+
+TEST(SerializeTest, TaskMismatchRejected) {
+  const Dataset data = smallTask(44);
+  RandomForestClassifier classifier;
+  util::Rng rng(45);
+  classifier.fit(data, ForestParams{}, rng);
+  std::stringstream stream;
+  saveForest(stream, classifier);
+  EXPECT_THROW(loadForestRegressor(stream), std::runtime_error);
+}
+
+TEST(SerializeTest, MalformedInputRejected) {
+  {
+    std::istringstream bad("not-a-forest v1 classifier 1");
+    EXPECT_THROW(loadForestClassifier(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("tevot-forest v2 classifier 1");
+    EXPECT_THROW(loadForestClassifier(bad), std::runtime_error);
+  }
+  {
+    // Truncated node list.
+    std::istringstream bad("tevot-forest v1 classifier 1\ntree 2\n"
+                           "-1 0 -1 -1 1.0\n");
+    EXPECT_THROW(loadForestClassifier(bad), std::runtime_error);
+  }
+  {
+    // Child index out of range.
+    std::istringstream bad("tevot-forest v1 classifier 1\ntree 1\n"
+                           "0 0.5 5 6 0\n");
+    EXPECT_THROW(loadForestClassifier(bad), std::runtime_error);
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Dataset data = smallTask(46);
+  RandomForestClassifier original;
+  util::Rng rng(47);
+  original.fit(data, ForestParams{}, rng);
+  const std::string path = ::testing::TempDir() + "/tevot_forest.txt";
+  saveForestFile(path, original);
+  const RandomForestClassifier loaded = loadForestClassifierFile(path);
+  EXPECT_EQ(loaded.trees().size(), original.trees().size());
+  std::remove(path.c_str());
+  EXPECT_THROW(loadForestClassifierFile(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tevot::ml

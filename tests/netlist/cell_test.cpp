@@ -1,0 +1,90 @@
+// Cell metadata and truth-table tests. Every cell kind is checked
+// exhaustively over its input space against an independent boolean
+// specification.
+#include "netlist/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace tevot::netlist {
+namespace {
+
+struct CellSpec {
+  CellKind kind;
+  std::function<bool(bool, bool, bool)> function;
+};
+
+const std::vector<CellSpec>& specs() {
+  static const std::vector<CellSpec> kSpecs = {
+      {CellKind::kConst0, [](bool, bool, bool) { return false; }},
+      {CellKind::kConst1, [](bool, bool, bool) { return true; }},
+      {CellKind::kBuf, [](bool a, bool, bool) { return a; }},
+      {CellKind::kInv, [](bool a, bool, bool) { return !a; }},
+      {CellKind::kAnd2, [](bool a, bool b, bool) { return a && b; }},
+      {CellKind::kOr2, [](bool a, bool b, bool) { return a || b; }},
+      {CellKind::kNand2, [](bool a, bool b, bool) { return !(a && b); }},
+      {CellKind::kNor2, [](bool a, bool b, bool) { return !(a || b); }},
+      {CellKind::kXor2, [](bool a, bool b, bool) { return a != b; }},
+      {CellKind::kXnor2, [](bool a, bool b, bool) { return a == b; }},
+      {CellKind::kAnd3,
+       [](bool a, bool b, bool c) { return a && b && c; }},
+      {CellKind::kOr3, [](bool a, bool b, bool c) { return a || b || c; }},
+      {CellKind::kNand3,
+       [](bool a, bool b, bool c) { return !(a && b && c); }},
+      {CellKind::kNor3,
+       [](bool a, bool b, bool c) { return !(a || b || c); }},
+      {CellKind::kXor3,
+       [](bool a, bool b, bool c) { return (a != b) != c; }},
+      {CellKind::kMux2, [](bool a, bool b, bool c) { return c ? b : a; }},
+      {CellKind::kAoi21,
+       [](bool a, bool b, bool c) { return !((a && b) || c); }},
+      {CellKind::kOai21,
+       [](bool a, bool b, bool c) { return !((a || b) && c); }},
+      {CellKind::kMaj3,
+       [](bool a, bool b, bool c) {
+         return (a && b) || (a && c) || (b && c);
+       }},
+  };
+  return kSpecs;
+}
+
+TEST(CellTest, TruthTablesExhaustive) {
+  ASSERT_EQ(specs().size(), static_cast<std::size_t>(kCellKindCount));
+  for (const CellSpec& spec : specs()) {
+    const int arity = cellFanin(spec.kind);
+    const int patterns = 1 << arity;
+    for (int p = 0; p < patterns; ++p) {
+      const bool a = (p & 1) != 0;
+      const bool b = (p & 2) != 0;
+      const bool c = (p & 4) != 0;
+      EXPECT_EQ(evalCell(spec.kind, a, b, c), spec.function(a, b, c))
+          << cellName(spec.kind) << " pattern " << p;
+    }
+  }
+}
+
+TEST(CellTest, NameRoundTrip) {
+  for (int k = 0; k < kCellKindCount; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    CellKind parsed;
+    ASSERT_TRUE(cellFromName(cellName(kind), parsed))
+        << cellName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  CellKind dummy;
+  EXPECT_FALSE(cellFromName("NOPE", dummy));
+  EXPECT_FALSE(cellFromName("", dummy));
+}
+
+TEST(CellTest, FaninMatchesSemantics) {
+  EXPECT_EQ(cellFanin(CellKind::kConst0), 0);
+  EXPECT_EQ(cellFanin(CellKind::kInv), 1);
+  EXPECT_EQ(cellFanin(CellKind::kXor2), 2);
+  EXPECT_EQ(cellFanin(CellKind::kMux2), 3);
+  EXPECT_EQ(cellFanin(CellKind::kMaj3), 3);
+}
+
+}  // namespace
+}  // namespace tevot::netlist

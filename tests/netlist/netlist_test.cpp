@@ -1,0 +1,136 @@
+// Netlist construction, validation, evaluation, levelization, fanout
+// and DOT-export tests, including the error paths (arity mismatches,
+// forward references, broken invariants).
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tevot::netlist {
+namespace {
+
+Netlist makeHalfAdder() {
+  Netlist nl("ha");
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId sum = nl.addGate2(CellKind::kXor2, a, b, "sum");
+  const NetId carry = nl.addGate2(CellKind::kAnd2, a, b, "carry");
+  nl.markOutput(sum);
+  nl.markOutput(carry);
+  return nl;
+}
+
+TEST(NetlistTest, BuildAndEvaluate) {
+  Netlist nl = makeHalfAdder();
+  nl.validate();
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.gateCount(), 2u);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const std::uint8_t in[2] = {static_cast<std::uint8_t>(a),
+                                  static_cast<std::uint8_t>(b)};
+      const std::uint64_t out = nl.evalOutputsWord({in, 2});
+      EXPECT_EQ(out & 1, static_cast<unsigned>(a ^ b));
+      EXPECT_EQ((out >> 1) & 1, static_cast<unsigned>(a & b));
+    }
+  }
+}
+
+TEST(NetlistTest, ConstNetsAreCached) {
+  Netlist nl;
+  const NetId zero1 = nl.addConst(false);
+  const NetId zero2 = nl.addConst(false);
+  const NetId one = nl.addConst(true);
+  EXPECT_EQ(zero1, zero2);
+  EXPECT_NE(zero1, one);
+  EXPECT_EQ(nl.gateCount(), 2u);
+}
+
+TEST(NetlistTest, ArityMismatchThrows) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId ins1[1] = {a};
+  EXPECT_THROW(nl.addGate(CellKind::kAnd2, ins1), std::invalid_argument);
+  const NetId ins2[2] = {a, a};
+  EXPECT_THROW(nl.addGate(CellKind::kInv, ins2), std::invalid_argument);
+}
+
+TEST(NetlistTest, ForwardReferenceThrows) {
+  Netlist nl;
+  nl.addInput("a");
+  const NetId bogus = 99;
+  EXPECT_THROW(nl.addGate1(CellKind::kInv, bogus), std::invalid_argument);
+  EXPECT_THROW(nl.markOutput(bogus), std::invalid_argument);
+}
+
+TEST(NetlistTest, EvalArityChecked) {
+  Netlist nl = makeHalfAdder();
+  const std::uint8_t one_input[1] = {1};
+  EXPECT_THROW(nl.evalFunctional({one_input, 1}), std::invalid_argument);
+}
+
+TEST(NetlistTest, FanoutComputation) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId x = nl.addGate2(CellKind::kAnd2, a, b);
+  nl.addGate1(CellKind::kInv, x);
+  nl.addGate1(CellKind::kBuf, x);
+  nl.addGate2(CellKind::kOr2, x, a);
+  EXPECT_EQ(nl.fanout(x).size(), 3u);
+  EXPECT_EQ(nl.fanout(a).size(), 2u);
+  EXPECT_EQ(nl.fanout(b).size(), 1u);
+}
+
+TEST(NetlistTest, LevelsAndDepth) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId l1 = nl.addGate1(CellKind::kInv, a);
+  const NetId l2 = nl.addGate1(CellKind::kInv, l1);
+  const NetId l3 = nl.addGate2(CellKind::kAnd2, l2, a);
+  nl.markOutput(l3);
+  const auto levels = nl.gateLevels();
+  EXPECT_EQ(levels[0], 1);
+  EXPECT_EQ(levels[1], 2);
+  EXPECT_EQ(levels[2], 3);
+  EXPECT_EQ(nl.depth(), 3);
+}
+
+TEST(NetlistTest, KindCounts) {
+  Netlist nl = makeHalfAdder();
+  const auto counts = nl.kindCounts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(CellKind::kXor2)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(CellKind::kAnd2)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(CellKind::kInv)], 0u);
+}
+
+TEST(NetlistTest, DisplayNames) {
+  Netlist nl;
+  const NetId named = nl.addInput("clk");
+  const NetId anon = nl.addInput("");
+  EXPECT_EQ(nl.netDisplayName(named), "clk");
+  EXPECT_EQ(nl.netDisplayName(anon), "n1");
+}
+
+TEST(NetlistTest, DotExportMentionsGates) {
+  Netlist nl = makeHalfAdder();
+  const std::string dot = nl.toDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("XOR2"), std::string::npos);
+  EXPECT_NE(dot.find("AND2"), std::string::npos);
+}
+
+TEST(NetlistTest, ValidateCatchesDoubleOutputRegistration) {
+  // Outputs may legitimately repeat (a bus bit observed twice is
+  // harmless), but registering an input twice is an invariant break.
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  nl.markOutput(a);
+  nl.markOutput(a);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+}  // namespace
+}  // namespace tevot::netlist

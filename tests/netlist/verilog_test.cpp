@@ -1,0 +1,155 @@
+// Structural Verilog writer/parser tests: functional round-trips of
+// all four FUs, syntax details, and error paths.
+#include "netlist/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "circuits/fu.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::netlist {
+namespace {
+
+/// Functional equivalence over random vectors (identical truth
+/// behaviour; internal net ids may differ after a round-trip).
+void expectEquivalent(const Netlist& a, const Netlist& b, int trials,
+                      std::uint64_t seed) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> in(a.inputs().size());
+  for (int t = 0; t < trials; ++t) {
+    for (auto& bit : in) bit = rng.nextBool() ? 1 : 0;
+    EXPECT_EQ(a.evalOutputsWord(in), b.evalOutputsWord(in)) << "trial " << t;
+  }
+}
+
+class VerilogFuRoundTrip : public ::testing::TestWithParam<circuits::FuKind> {
+};
+
+TEST_P(VerilogFuRoundTrip, FunctionallyIdentical) {
+  const Netlist original = circuits::buildFu(GetParam());
+  const std::string text = toVerilogString(original);
+  const Netlist parsed = parseVerilogString(text);
+  parsed.validate();
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_EQ(parsed.gateCount(), original.gateCount());
+  expectEquivalent(original, parsed, 60, 0xabc);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFus, VerilogFuRoundTrip,
+                         ::testing::ValuesIn(circuits::kAllFus));
+
+TEST(VerilogTest, DoubleRoundTripIsStable) {
+  const Netlist original = circuits::buildFu(circuits::FuKind::kIntAdd);
+  const std::string once = toVerilogString(parseVerilogString(
+      toVerilogString(original)));
+  const std::string twice = toVerilogString(parseVerilogString(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(VerilogTest, WriterEmitsExpectedConstructs) {
+  Netlist nl("demo");
+  const NetId a = nl.addInput("a[0]");
+  const NetId zero = nl.addConst(false);
+  const NetId g = nl.addGate2(CellKind::kOr2, a, zero);
+  nl.markOutput(g, "q");
+  const std::string text = toVerilogString(nl);
+  EXPECT_NE(text.find("module demo"), std::string::npos);
+  EXPECT_NE(text.find("input a_0;"), std::string::npos);
+  EXPECT_NE(text.find("= 1'b0;"), std::string::npos);
+  EXPECT_NE(text.find("OR2 g1"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogTest, ParsesOutOfOrderInstances) {
+  // Instances listed sink-first: the parser must topologically order.
+  const std::string text = R"(
+    // hand-written example
+    module scramble (a, b, q);
+      input a; input b;
+      output q;
+      wire w1; wire w2;
+      INV g1 (.Y(q0), .A(w2));
+      AND2 g0 (.Y(w2), .A(w1), .B(b));
+      BUF gb (.Y(w1), .A(a));
+      wire q0;
+      assign q = q0;
+    endmodule
+  )";
+  const Netlist nl = parseVerilogString(text);
+  nl.validate();
+  ASSERT_EQ(nl.inputs().size(), 2u);
+  ASSERT_EQ(nl.outputs().size(), 1u);
+  // q = !(a & b)
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const std::uint8_t in[2] = {static_cast<std::uint8_t>(a),
+                                  static_cast<std::uint8_t>(b)};
+      EXPECT_EQ(nl.evalOutputsWord({in, 2}),
+                static_cast<std::uint64_t>(!(a && b)));
+    }
+  }
+}
+
+TEST(VerilogTest, ConstOperandsInPinConnections) {
+  const std::string text = R"(
+    module konst (a, q);
+      input a; output q;
+      wire w;
+      XOR2 g0 (.Y(w), .A(a), .B(1'b1));
+      assign q = w;
+    endmodule
+  )";
+  const Netlist nl = parseVerilogString(text);
+  const std::uint8_t zero[1] = {0}, one[1] = {1};
+  EXPECT_EQ(nl.evalOutputsWord({zero, 1}), 1u);
+  EXPECT_EQ(nl.evalOutputsWord({one, 1}), 0u);
+}
+
+TEST(VerilogTest, RejectsMalformedInput) {
+  EXPECT_THROW(parseVerilogString(""), std::runtime_error);
+  EXPECT_THROW(parseVerilogString("module m (); endmodule extra"),
+               std::runtime_error);
+  // Unknown cell.
+  EXPECT_THROW(parseVerilogString(
+                   "module m (a, q); input a; output q; wire w;\n"
+                   "FOO g0 (.Y(w), .A(a)); assign q = w; endmodule"),
+               std::runtime_error);
+  // Missing pin.
+  EXPECT_THROW(parseVerilogString(
+                   "module m (a, q); input a; output q; wire w;\n"
+                   "AND2 g0 (.Y(w), .A(a)); assign q = w; endmodule"),
+               std::runtime_error);
+  // Combinational cycle.
+  EXPECT_THROW(parseVerilogString(
+                   "module m (a, q); input a; output q; wire w1; wire w2;\n"
+                   "INV g0 (.Y(w1), .A(w2)); INV g1 (.Y(w2), .A(w1));\n"
+                   "assign q = w1; endmodule"),
+               std::runtime_error);
+  // Multiply driven net.
+  EXPECT_THROW(parseVerilogString(
+                   "module m (a, q); input a; output q; wire w;\n"
+                   "INV g0 (.Y(w), .A(a)); BUF g1 (.Y(w), .A(a));\n"
+                   "assign q = w; endmodule"),
+               std::runtime_error);
+  // Undriven output.
+  EXPECT_THROW(parseVerilogString(
+                   "module m (a, q); input a; output q; endmodule"),
+               std::runtime_error);
+}
+
+TEST(VerilogTest, FileRoundTrip) {
+  const Netlist original = circuits::buildFu(circuits::FuKind::kIntAdd);
+  const std::string path = ::testing::TempDir() + "/tevot_test.v";
+  writeVerilogFile(path, original);
+  const Netlist parsed = parseVerilogFile(path);
+  expectEquivalent(original, parsed, 20, 0xdef);
+  std::remove(path.c_str());
+  EXPECT_THROW(parseVerilogFile(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tevot::netlist

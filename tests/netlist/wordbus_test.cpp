@@ -1,0 +1,94 @@
+// Bus helper tests: construction, slicing, mapping and muxing.
+#include "netlist/wordbus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tevot::netlist {
+namespace {
+
+std::vector<std::uint8_t> bitsOf(std::uint64_t word, int width) {
+  std::vector<std::uint8_t> bits;
+  for (int i = 0; i < width; ++i) {
+    bits.push_back(static_cast<std::uint8_t>((word >> i) & 1));
+  }
+  return bits;
+}
+
+TEST(WordbusTest, InputBusNamesAndOrder) {
+  Netlist nl;
+  const Bus bus = addInputBus(nl, "data", 4);
+  ASSERT_EQ(bus.size(), 4u);
+  EXPECT_EQ(nl.netDisplayName(bus[0]), "data[0]");
+  EXPECT_EQ(nl.netDisplayName(bus[3]), "data[3]");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+}
+
+TEST(WordbusTest, ConstBusValues) {
+  Netlist nl;
+  nl.addInput("dummy");
+  const Bus bus = constBus(nl, 0b1010, 4);
+  markOutputBus(nl, bus, "k");
+  const std::uint8_t in[1] = {0};
+  EXPECT_EQ(nl.evalOutputsWord({in, 1}), 0b1010u);
+}
+
+TEST(WordbusTest, SliceBounds) {
+  Netlist nl;
+  const Bus bus = addInputBus(nl, "x", 8);
+  const Bus mid = slice(bus, 2, 3);
+  EXPECT_EQ(mid[0], bus[2]);
+  EXPECT_EQ(mid[2], bus[4]);
+  EXPECT_THROW(slice(bus, 6, 3), std::out_of_range);
+  EXPECT_THROW(slice(bus, -1, 2), std::out_of_range);
+}
+
+TEST(WordbusTest, ZeroExtendAndConcat) {
+  Netlist nl;
+  const Bus bus = addInputBus(nl, "x", 3);
+  const Bus extended = zeroExtend(nl, bus, 6);
+  EXPECT_EQ(extended.size(), 6u);
+  const Bus truncated = zeroExtend(nl, extended, 2);
+  EXPECT_EQ(truncated.size(), 2u);
+  EXPECT_EQ(truncated[0], bus[0]);
+  const Bus joined = concat(slice(bus, 0, 2), slice(bus, 2, 1));
+  EXPECT_EQ(joined.size(), 3u);
+  EXPECT_EQ(joined[2], bus[2]);
+}
+
+TEST(WordbusTest, MapAndMux) {
+  Netlist nl;
+  const Bus a = addInputBus(nl, "a", 4);
+  const Bus b = addInputBus(nl, "b", 4);
+  const NetId sel = nl.addInput("sel");
+  markOutputBus(nl, mapInv(nl, a), "na");
+  markOutputBus(nl, mapGate2(nl, CellKind::kXor2, a, b), "x");
+  markOutputBus(nl, mux2(nl, a, b, sel), "m");
+
+  for (const std::uint32_t av : {0b0000u, 0b1010u, 0b1111u}) {
+    for (const std::uint32_t bv : {0b0011u, 0b0101u}) {
+      for (std::uint32_t s = 0; s < 2; ++s) {
+        std::vector<std::uint8_t> in = bitsOf(av, 4);
+        const auto bb = bitsOf(bv, 4);
+        in.insert(in.end(), bb.begin(), bb.end());
+        in.push_back(static_cast<std::uint8_t>(s));
+        const std::uint64_t out = nl.evalOutputsWord(in);
+        EXPECT_EQ(out & 0xf, (~av) & 0xf);
+        EXPECT_EQ((out >> 4) & 0xf, av ^ bv);
+        EXPECT_EQ((out >> 8) & 0xf, s ? bv : av);
+      }
+    }
+  }
+}
+
+TEST(WordbusTest, WidthMismatchThrows) {
+  Netlist nl;
+  const Bus a = addInputBus(nl, "a", 3);
+  const Bus b = addInputBus(nl, "b", 4);
+  EXPECT_THROW(mapGate2(nl, CellKind::kAnd2, a, b), std::invalid_argument);
+  EXPECT_THROW(mux2(nl, a, b, a[0]), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::netlist

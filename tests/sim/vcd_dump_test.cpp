@@ -1,0 +1,98 @@
+// Integration test of the file-based DTA path: simulate -> dump VCD
+// -> parse VCD -> extract per-cycle dynamic delays, and check the
+// delays agree exactly with the in-memory dta::characterize() path
+// (the paper's ModelSim + Python-script pipeline equivalence).
+#include "sim/vcd_dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/fu.hpp"
+#include "dta/dta.hpp"
+#include "dta/vcd_extract.hpp"
+#include "util/rng.hpp"
+#include "vcd/vcd.hpp"
+
+namespace tevot::sim {
+namespace {
+
+TEST(VcdDumpTest, FileBasedDelaysMatchInMemoryDta) {
+  const netlist::Netlist nl = circuits::buildFu(circuits::FuKind::kIntAdd);
+  const auto delays = liberty::annotateCorner(
+      nl, liberty::CellLibrary::defaultLibrary(), liberty::VtModel(),
+      {0.84, 25.0});
+
+  util::Rng rng(99);
+  const dta::Workload workload =
+      dta::randomWorkloadFor(circuits::FuKind::kIntAdd, 60, rng);
+
+  // In-memory path.
+  const dta::DtaTrace trace = dta::characterize(nl, delays, workload);
+
+  // File-based path.
+  std::vector<std::vector<std::uint8_t>> vectors;
+  for (const dta::OperandPair& op : workload.ops) {
+    vectors.push_back(circuits::encodeOperands(op.a, op.b));
+  }
+  VcdDumpOptions options;
+  options.window_ps = 20000.0;
+  std::ostringstream os;
+  const std::size_t cycles = dumpWorkloadVcd(os, nl, delays, vectors,
+                                             options);
+  ASSERT_EQ(cycles, workload.ops.size() - 1);
+  const vcd::VcdData data = vcd::parseVcdString(os.str());
+  const std::vector<double> extracted =
+      dta::extractDelaysFromVcd(data, options.window_ps, cycles);
+
+  ASSERT_EQ(extracted.size(), trace.samples.size());
+  for (std::size_t i = 0; i < extracted.size(); ++i) {
+    // VCD timestamps are integer ps, so agreement is within 1 ps.
+    EXPECT_NEAR(extracted[i], trace.samples[i].delay_ps, 1.0)
+        << "cycle " << i;
+  }
+}
+
+TEST(VcdDumpTest, DumpDeclaresOutputSignals) {
+  const netlist::Netlist nl = circuits::buildFu(circuits::FuKind::kIntAdd);
+  const auto delays = liberty::annotateCorner(
+      nl, liberty::CellLibrary::defaultLibrary(), liberty::VtModel(),
+      {1.0, 25.0});
+  std::vector<std::vector<std::uint8_t>> vectors = {
+      circuits::encodeOperands(1, 2), circuits::encodeOperands(3, 4)};
+  std::ostringstream os;
+  dumpWorkloadVcd(os, nl, delays, vectors);
+  const vcd::VcdData data = vcd::parseVcdString(os.str());
+  EXPECT_EQ(data.signal_names.size(), nl.outputs().size());
+  EXPECT_NO_THROW(data.signal(std::string("s[0]")));
+  EXPECT_NO_THROW(data.signal(std::string("s[31]")));
+}
+
+TEST(VcdDumpTest, AllNetsModeDumpsEverything) {
+  netlist::Netlist nl("tiny");
+  const auto a = nl.addInput("a");
+  nl.markOutput(nl.addGate1(netlist::CellKind::kInv, a, "q"), "q");
+  liberty::CornerDelays delays;
+  delays.corner = {1.0, 25.0};
+  delays.rise_ps = {10.0};
+  delays.fall_ps = {10.0};
+  std::vector<std::vector<std::uint8_t>> vectors = {{0}, {1}, {0}};
+  VcdDumpOptions options;
+  options.all_nets = true;
+  std::ostringstream os;
+  dumpWorkloadVcd(os, nl, delays, vectors, options);
+  const vcd::VcdData data = vcd::parseVcdString(os.str());
+  EXPECT_EQ(data.signal_names.size(), nl.netCount());
+}
+
+TEST(VcdDumpTest, EmptyWorkloadRejected) {
+  const netlist::Netlist nl = circuits::buildFu(circuits::FuKind::kIntAdd);
+  const auto delays = liberty::annotateCorner(
+      nl, liberty::CellLibrary::defaultLibrary(), liberty::VtModel(),
+      {1.0, 25.0});
+  std::ostringstream os;
+  EXPECT_THROW(dumpWorkloadVcd(os, nl, delays, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::sim

@@ -1,0 +1,75 @@
+// Static timing analysis tests: hand-computed arrival times on a toy
+// circuit, critical-path traceback, and the STA-bounds-DTA property
+// on a real functional unit.
+#include "sta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/fu.hpp"
+#include "dta/dta.hpp"
+#include "tevot/pipeline.hpp"
+
+namespace tevot::sta {
+namespace {
+
+TEST(StaTest, HandComputedArrivals) {
+  // in --g0(10)--> n --g1(20)--> out1
+  //  \----------------g2(5)----> out2
+  netlist::Netlist nl("toy");
+  const auto in = nl.addInput("in");
+  const auto n = nl.addGate1(netlist::CellKind::kBuf, in, "n");
+  const auto out1 = nl.addGate1(netlist::CellKind::kInv, n, "out1");
+  const auto out2 = nl.addGate1(netlist::CellKind::kBuf, in, "out2");
+  nl.markOutput(out1);
+  nl.markOutput(out2);
+
+  liberty::CornerDelays delays;
+  delays.corner = {1.0, 25.0};
+  delays.rise_ps = {10.0, 20.0, 5.0};
+  delays.fall_ps = {8.0, 18.0, 5.0};
+
+  const StaResult result = analyze(nl, delays);
+  EXPECT_DOUBLE_EQ(result.arrival_ps[in], 0.0);
+  EXPECT_DOUBLE_EQ(result.arrival_ps[n], 10.0);   // max(rise, fall)
+  EXPECT_DOUBLE_EQ(result.arrival_ps[out1], 30.0);
+  EXPECT_DOUBLE_EQ(result.arrival_ps[out2], 5.0);
+  EXPECT_DOUBLE_EQ(result.critical_path_ps, 30.0);
+  // Traceback: in -> n -> out1.
+  ASSERT_EQ(result.critical_path.size(), 3u);
+  EXPECT_EQ(result.critical_path[0], in);
+  EXPECT_EQ(result.critical_path[1], n);
+  EXPECT_EQ(result.critical_path[2], out1);
+}
+
+TEST(StaTest, AnnotationMismatchThrows) {
+  netlist::Netlist nl("toy");
+  const auto in = nl.addInput("in");
+  nl.markOutput(nl.addGate1(netlist::CellKind::kInv, in));
+  liberty::CornerDelays delays;  // empty
+  EXPECT_THROW(analyze(nl, delays), std::invalid_argument);
+}
+
+TEST(StaTest, CriticalPathBoundsDynamicDelay) {
+  // Property: no simulated dynamic delay may exceed the STA bound.
+  core::FuContext context(circuits::FuKind::kIntAdd);
+  for (const liberty::Corner corner :
+       {liberty::Corner{0.81, 0.0}, liberty::Corner{1.00, 100.0}}) {
+    const double bound = context.staCriticalPathPs(corner);
+    util::Rng rng(77);
+    const auto workload =
+        dta::randomWorkloadFor(circuits::FuKind::kIntAdd, 500, rng);
+    const dta::DtaTrace trace = context.characterize(corner, workload);
+    EXPECT_LE(trace.maxDelayPs(), bound + 1e-9);
+    EXPECT_GT(trace.maxDelayPs(), 0.0);
+  }
+}
+
+TEST(StaTest, StaScalesWithCorner) {
+  core::FuContext context(circuits::FuKind::kIntMul);
+  const double slow = context.staCriticalPathPs({0.81, 25.0});
+  const double fast = context.staCriticalPathPs({1.00, 25.0});
+  EXPECT_GT(slow, fast * 1.4);
+}
+
+}  // namespace
+}  // namespace tevot::sta

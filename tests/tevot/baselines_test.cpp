@@ -1,0 +1,116 @@
+// Baseline error-model tests: the Delay-based model's pessimism, the
+// TER-based model's calibrated rates, corner keying, and the
+// calibration error paths.
+#include "tevot/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tevot/pipeline.hpp"
+
+namespace tevot::core {
+namespace {
+
+dta::DtaTrace trace(FuContext& context, liberty::Corner corner,
+                    std::size_t cycles, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return context.characterize(
+      corner, dta::randomWorkloadFor(context.kind(), cycles, rng));
+}
+
+TEST(BaselinesTest, CornerKeyDistinguishesTableOnePoints) {
+  EXPECT_EQ(cornerKey({0.81, 0.0}), cornerKey({0.81, 0.0}));
+  EXPECT_NE(cornerKey({0.81, 0.0}), cornerKey({0.82, 0.0}));
+  EXPECT_NE(cornerKey({0.81, 0.0}), cornerKey({0.81, 25.0}));
+}
+
+TEST(BaselinesTest, DelayBasedAlwaysPredictsErrorUnderSpeedup) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  const liberty::Corner corner{0.9, 50.0};
+  const auto calibration = trace(context, corner, 300, 71);
+  DelayBasedModel model;
+  model.calibrate({&calibration, 1});
+  EXPECT_DOUBLE_EQ(model.maxDelayAt(corner), calibration.maxDelayPs());
+
+  PredictionContext prediction;
+  prediction.corner = corner;
+  prediction.a = 1;
+  prediction.b = 2;
+  // Below the calibrated max: always an error, whatever the inputs.
+  prediction.tclk_ps = calibration.maxDelayPs() * 0.95;
+  EXPECT_TRUE(model.predictError(prediction));
+  // At or above the max: never.
+  prediction.tclk_ps = calibration.maxDelayPs() * 1.05;
+  EXPECT_FALSE(model.predictError(prediction));
+}
+
+TEST(BaselinesTest, DelayBasedUnknownCornerThrows) {
+  DelayBasedModel model;
+  PredictionContext prediction;
+  prediction.corner = {0.99, 75.0};
+  EXPECT_THROW(model.predictError(prediction), std::out_of_range);
+}
+
+TEST(BaselinesTest, TerBasedRateMatchesCalibration) {
+  FuContext context(circuits::FuKind::kIntMul);
+  const liberty::Corner corner{0.85, 25.0};
+  const auto calibration = trace(context, corner, 500, 72);
+  TerBasedModel model;
+  model.calibrate({&calibration, 1});
+
+  // The calibrated TER must equal the empirical fraction.
+  const double tclk =
+      dta::speedupClockPs(calibration.baseClockPs(), 0.25);
+  std::size_t above = 0;
+  for (const dta::DtaSample& sample : calibration.samples) {
+    if (sample.delay_ps > tclk) ++above;
+  }
+  const double expected =
+      static_cast<double>(above) /
+      static_cast<double>(calibration.samples.size());
+  EXPECT_NEAR(model.terAt(corner, tclk), expected, 1e-12);
+  // Edge rates.
+  EXPECT_DOUBLE_EQ(
+      model.terAt(corner, calibration.maxDelayPs() + 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.terAt(corner, -1.0), 1.0);
+
+  // Stochastic predictions approximate the rate.
+  PredictionContext prediction;
+  prediction.corner = corner;
+  prediction.tclk_ps = tclk;
+  int errors = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (model.predictError(prediction)) ++errors;
+  }
+  EXPECT_NEAR(errors / 4000.0, expected, 0.05);
+}
+
+TEST(BaselinesTest, TevotNhNameReflectsConfig) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  const auto calibration = trace(context, {0.9, 50.0}, 200, 73);
+  util::Rng rng(74);
+  const ModelSuite suite = trainModelSuite({&calibration, 1}, rng);
+  const TevotErrorModel with(suite.tevot);
+  const TevotErrorModel without(suite.tevot_nh);
+  EXPECT_EQ(with.name(), "TEVoT");
+  EXPECT_EQ(without.name(), "TEVoT-NH");
+  const auto models = suite.errorModels();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0]->name(), "TEVoT");
+  EXPECT_EQ(models[1]->name(), "Delay-based");
+  EXPECT_EQ(models[2]->name(), "TER-based");
+  EXPECT_EQ(models[3]->name(), "TEVoT-NH");
+}
+
+TEST(BaselinesTest, MultiCornerCalibration) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  std::vector<dta::DtaTrace> traces;
+  traces.push_back(trace(context, {0.81, 0.0}, 200, 75));
+  traces.push_back(trace(context, {1.00, 100.0}, 200, 76));
+  DelayBasedModel model;
+  model.calibrate(traces);
+  EXPECT_GT(model.maxDelayAt({0.81, 0.0}),
+            model.maxDelayAt({1.00, 100.0}));
+}
+
+}  // namespace
+}  // namespace tevot::core

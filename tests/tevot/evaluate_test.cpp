@@ -1,0 +1,100 @@
+// Evaluation-harness tests: Eq. 4 accuracy accounting against
+// hand-checkable synthetic models (always-right, always-wrong,
+// always-error), and outcome merging.
+#include "tevot/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tevot/pipeline.hpp"
+
+namespace tevot::core {
+namespace {
+
+/// Oracle wrapper with direct access to the trace's ground truth.
+class FixedAnswerModel final : public ErrorModel {
+ public:
+  explicit FixedAnswerModel(bool answer) : answer_(answer) {}
+  bool predictError(const PredictionContext&) override { return answer_; }
+  std::string_view name() const override { return "fixed"; }
+
+ private:
+  bool answer_;
+};
+
+TEST(EvaluateTest, AccountingAgainstConstantModels) {
+  FuContext context(circuits::FuKind::kIntMul);
+  util::Rng rng(81);
+  const auto trace = context.characterize(
+      {0.85, 50.0},
+      dta::randomWorkloadFor(circuits::FuKind::kIntMul, 400, rng));
+  const double tclk = dta::speedupClockPs(trace.baseClockPs(), 0.20);
+
+  FixedAnswerModel always_error(true);
+  const EvalOutcome err_outcome = evaluateOnTrace(always_error, trace, tclk);
+  FixedAnswerModel never_error(false);
+  const EvalOutcome ok_outcome = evaluateOnTrace(never_error, trace, tclk);
+
+  EXPECT_EQ(err_outcome.cycles, trace.samples.size());
+  EXPECT_EQ(err_outcome.predicted_errors, trace.samples.size());
+  EXPECT_EQ(ok_outcome.predicted_errors, 0u);
+  // The two constant models' accuracies sum to exactly 1.
+  EXPECT_NEAR(err_outcome.accuracy() + ok_outcome.accuracy(), 1.0, 1e-12);
+  // Always-error accuracy equals the ground-truth TER.
+  EXPECT_NEAR(err_outcome.accuracy(), err_outcome.groundTruthTer(), 1e-12);
+  EXPECT_EQ(err_outcome.true_errors, ok_outcome.true_errors);
+}
+
+TEST(EvaluateTest, PerfectOracleScoresFullAccuracy) {
+  // A model that replays the trace's own ground truth scores 1.0.
+  class TruthReplay final : public ErrorModel {
+   public:
+    TruthReplay(const dta::DtaTrace& trace, double tclk)
+        : trace_(&trace), tclk_(tclk) {}
+    bool predictError(const PredictionContext&) override {
+      return trace_->samples[at_++].timingError(tclk_);
+    }
+    std::string_view name() const override { return "truth"; }
+
+   private:
+    const dta::DtaTrace* trace_;
+    double tclk_;
+    std::size_t at_ = 0;
+  };
+
+  FuContext context(circuits::FuKind::kIntAdd);
+  util::Rng rng(82);
+  const auto trace = context.characterize(
+      {0.81, 100.0},
+      dta::randomWorkloadFor(circuits::FuKind::kIntAdd, 300, rng));
+  const double tclk = dta::speedupClockPs(trace.baseClockPs(), 0.10);
+  TruthReplay oracle(trace, tclk);
+  const EvalOutcome outcome = evaluateOnTrace(oracle, trace, tclk);
+  EXPECT_DOUBLE_EQ(outcome.accuracy(), 1.0);
+  EXPECT_EQ(outcome.predicted_errors, outcome.true_errors);
+}
+
+TEST(EvaluateTest, MergeOutcomes) {
+  EvalOutcome a;
+  a.cycles = 10;
+  a.matched = 9;
+  a.true_errors = 2;
+  a.predicted_errors = 3;
+  EvalOutcome b;
+  b.cycles = 30;
+  b.matched = 15;
+  b.true_errors = 6;
+  b.predicted_errors = 4;
+  const EvalOutcome merged = mergeOutcomes(std::vector{a, b});
+  EXPECT_EQ(merged.cycles, 40u);
+  EXPECT_EQ(merged.matched, 24u);
+  EXPECT_EQ(merged.true_errors, 8u);
+  EXPECT_EQ(merged.predicted_errors, 7u);
+  EXPECT_DOUBLE_EQ(merged.accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(merged.groundTruthTer(), 0.2);
+  const EvalOutcome empty = mergeOutcomes({});
+  EXPECT_EQ(empty.cycles, 0u);
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace tevot::core

@@ -1,0 +1,107 @@
+// Feature-encoder tests: the 130-dimensional layout of the paper
+// (Sec. IV-B-1), the toggle recoding of the history half, and the
+// 66-dimensional no-history variant.
+#include "tevot/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tevot::core {
+namespace {
+
+TEST(FeaturesTest, DimensionsMatchPaper) {
+  EXPECT_EQ(FeatureEncoder(true).featureCount(), 130u);
+  EXPECT_EQ(FeatureEncoder(false).featureCount(), 66u);
+}
+
+TEST(FeaturesTest, LayoutAndValues) {
+  const FeatureEncoder encoder(true);
+  const liberty::Corner corner{0.87, 62.5};
+  const auto features =
+      encoder.encodeVec(0x00000001u, 0x80000000u, 0x00000003u,
+                        0x80000000u, corner);
+  ASSERT_EQ(features.size(), 130u);
+  // a bits: only bit 0 set.
+  EXPECT_EQ(features[0], 1.0f);
+  EXPECT_EQ(features[1], 0.0f);
+  // b bits occupy [32, 64): only bit 31 set.
+  EXPECT_EQ(features[32 + 31], 1.0f);
+  EXPECT_EQ(features[32 + 0], 0.0f);
+  // History half holds the toggle vector a ^ prev_a: 0x01 ^ 0x03 =
+  // 0x02 -> bit 1 set only.
+  EXPECT_EQ(features[64 + 0], 0.0f);
+  EXPECT_EQ(features[64 + 1], 1.0f);
+  // b ^ prev_b == 0 -> all zero.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(features[static_cast<std::size_t>(96 + i)], 0.0f);
+  }
+  // Operating condition at the tail.
+  EXPECT_FLOAT_EQ(features[128], 0.87f);
+  EXPECT_FLOAT_EQ(features[129], 62.5f);
+}
+
+TEST(FeaturesTest, NoHistoryDropsTail) {
+  const FeatureEncoder encoder(false);
+  const liberty::Corner corner{0.81, 0.0};
+  const auto features =
+      encoder.encodeVec(0xffffffffu, 0u, 0x12345678u, 0x9abcdef0u, corner);
+  ASSERT_EQ(features.size(), 66u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(features[static_cast<std::size_t>(i)], 1.0f);
+    EXPECT_EQ(features[static_cast<std::size_t>(32 + i)], 0.0f);
+  }
+  EXPECT_FLOAT_EQ(features[64], 0.81f);
+  EXPECT_FLOAT_EQ(features[65], 0.0f);
+}
+
+TEST(FeaturesTest, HistoryMattersOnlyViaToggles) {
+  // Two different histories with the same toggle pattern relative to
+  // the current input encode identically... only when the XOR
+  // matches.
+  const FeatureEncoder encoder(true);
+  const liberty::Corner corner{0.9, 50.0};
+  const auto f1 = encoder.encodeVec(0xf0f0u, 0, 0x0f0fu, 0, corner);
+  const auto f2 = encoder.encodeVec(0xf0f0u, 0, 0x0f0fu, 0, corner);
+  EXPECT_EQ(f1, f2);
+  const auto f3 = encoder.encodeVec(0xf0f0u, 0, 0xffffu, 0, corner);
+  EXPECT_NE(f1, f3);
+}
+
+TEST(FeaturesTest, SampleEncodingMatchesManual) {
+  dta::DtaSample sample;
+  sample.a = 5;
+  sample.b = 6;
+  sample.prev_a = 7;
+  sample.prev_b = 8;
+  const FeatureEncoder encoder(true);
+  const liberty::Corner corner{0.95, 25.0};
+  std::vector<float> via_sample(encoder.featureCount());
+  encoder.encodeSample(sample, corner, via_sample);
+  EXPECT_EQ(via_sample, encoder.encodeVec(5, 6, 7, 8, corner));
+}
+
+TEST(FeaturesTest, FeatureNames) {
+  const FeatureEncoder with(true);
+  EXPECT_EQ(with.featureName(0), "a[0]");
+  EXPECT_EQ(with.featureName(31), "a[31]");
+  EXPECT_EQ(with.featureName(32), "b[0]");
+  EXPECT_EQ(with.featureName(64), "tog_a[0]");
+  EXPECT_EQ(with.featureName(96 + 7), "tog_b[7]");
+  EXPECT_EQ(with.featureName(128), "V");
+  EXPECT_EQ(with.featureName(129), "T");
+  EXPECT_THROW(with.featureName(130), std::out_of_range);
+  const FeatureEncoder without(false);
+  EXPECT_EQ(without.featureName(33), "b[1]");
+  EXPECT_EQ(without.featureName(64), "V");
+  EXPECT_EQ(without.featureName(65), "T");
+}
+
+TEST(FeaturesTest, WrongOutputSizeThrows) {
+  const FeatureEncoder encoder(true);
+  std::vector<float> wrong(10);
+  EXPECT_THROW(
+      encoder.encode(1, 2, 3, 4, liberty::Corner{0.9, 50.0}, wrong),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::core

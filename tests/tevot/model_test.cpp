@@ -1,0 +1,151 @@
+// TevotModel tests: dataset assembly (the paper's Eq. 3 matrices),
+// training/prediction plumbing, clock-transfer flexibility, and model
+// persistence.
+#include "tevot/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tevot/pipeline.hpp"
+
+namespace tevot::core {
+namespace {
+
+std::vector<dta::DtaTrace> smallTraces(circuits::FuKind kind,
+                                       std::size_t cycles = 400) {
+  FuContext context(kind);
+  util::Rng rng(61);
+  std::vector<dta::DtaTrace> traces;
+  for (const liberty::Corner corner :
+       {liberty::Corner{0.81, 0.0}, liberty::Corner{1.00, 100.0}}) {
+    traces.push_back(
+        context.characterize(corner, dta::randomWorkloadFor(kind, cycles,
+                                                            rng)));
+  }
+  return traces;
+}
+
+TEST(ModelTest, DelayDatasetShape) {
+  const auto traces = smallTraces(circuits::FuKind::kIntAdd, 100);
+  const FeatureEncoder encoder(true);
+  const ml::Dataset data = buildDelayDataset(traces, encoder);
+  EXPECT_EQ(data.size(), 2u * 99u);
+  EXPECT_EQ(data.features(), 130u);
+  // Labels are the recorded delays.
+  EXPECT_EQ(data.y[0], static_cast<float>(traces[0].samples[0].delay_ps));
+  // The corner columns distinguish the two traces.
+  EXPECT_FLOAT_EQ(data.x.at(0, 128), 0.81f);
+  EXPECT_FLOAT_EQ(data.x.at(99, 128), 1.00f);
+}
+
+TEST(ModelTest, ErrorDatasetUsesPerTraceClock) {
+  const auto traces = smallTraces(circuits::FuKind::kIntAdd, 80);
+  const FeatureEncoder encoder(false);
+  const ml::Dataset data = buildErrorDataset(
+      traces, encoder, [](const dta::DtaTrace& trace) {
+        return trace.baseClockPs() * 0.5;  // aggressive clock
+      });
+  EXPECT_EQ(data.features(), 66u);
+  double errors = 0;
+  for (const float label : data.y) {
+    EXPECT_TRUE(label == 0.0f || label == 1.0f);
+    errors += label;
+  }
+  EXPECT_GT(errors, 0.0);  // at half the base clock some cycles err
+}
+
+TEST(ModelTest, TrainPredictAndClockTransfer) {
+  const auto traces = smallTraces(circuits::FuKind::kIntAdd);
+  TevotModel model;
+  util::Rng rng(62);
+  model.train(traces, rng);
+  ASSERT_TRUE(model.trained());
+
+  const dta::DtaSample& sample = traces[0].samples[5];
+  const double delay = model.predictDelay(
+      sample.a, sample.b, sample.prev_a, sample.prev_b, traces[0].corner);
+  EXPECT_GT(delay, 0.0);
+  // One prediction serves every clock: the error flips exactly at the
+  // predicted delay.
+  EXPECT_TRUE(model.predictError(sample.a, sample.b, sample.prev_a,
+                                 sample.prev_b, traces[0].corner,
+                                 delay - 1.0));
+  EXPECT_FALSE(model.predictError(sample.a, sample.b, sample.prev_a,
+                                  sample.prev_b, traces[0].corner,
+                                  delay + 1.0));
+}
+
+TEST(ModelTest, TrainingReducesDelayErrorVsMeanPredictor) {
+  // Trained across two corners, the model must crush a global-mean
+  // predictor on fresh data because the (V,T) features separate the
+  // corners' delay regimes — the core of fd(V, T, I).
+  const auto traces = smallTraces(circuits::FuKind::kIntMul, 1200);
+  TevotModel model;
+  util::Rng rng(63);
+  model.train(traces, rng);
+
+  double global_mean = 0.0;
+  std::size_t count = 0;
+  for (const auto& trace : traces) {
+    for (const auto& sample : trace.samples) {
+      global_mean += sample.delay_ps;
+      ++count;
+    }
+  }
+  global_mean /= static_cast<double>(count);
+
+  FuContext context(circuits::FuKind::kIntMul);
+  util::Rng rng2(64);
+  double model_sq = 0.0, mean_sq = 0.0;
+  for (const auto& corner :
+       {liberty::Corner{0.81, 0.0}, liberty::Corner{1.00, 100.0}}) {
+    const auto test = context.characterize(
+        corner,
+        dta::randomWorkloadFor(circuits::FuKind::kIntMul, 250, rng2));
+    for (const dta::DtaSample& sample : test.samples) {
+      const double predicted = model.predictDelay(
+          sample.a, sample.b, sample.prev_a, sample.prev_b, corner);
+      model_sq +=
+          (predicted - sample.delay_ps) * (predicted - sample.delay_ps);
+      mean_sq +=
+          (global_mean - sample.delay_ps) * (global_mean - sample.delay_ps);
+    }
+  }
+  EXPECT_LT(model_sq, mean_sq * 0.5);
+}
+
+TEST(ModelTest, UntrainedThrows) {
+  TevotModel model;
+  EXPECT_THROW(
+      model.predictDelay(1, 2, 3, 4, liberty::Corner{0.9, 50.0}),
+      std::logic_error);
+  EXPECT_THROW(model.save("/tmp/nope.model"), std::logic_error);
+  util::Rng rng(1);
+  EXPECT_THROW(model.train({}, rng), std::invalid_argument);
+}
+
+TEST(ModelTest, SaveLoadRoundTrip) {
+  const auto traces = smallTraces(circuits::FuKind::kIntAdd, 200);
+  TevotConfig config;
+  config.include_history = false;
+  TevotModel model(config);
+  util::Rng rng(65);
+  model.train(traces, rng);
+
+  const std::string path = ::testing::TempDir() + "/tevot.model";
+  model.save(path);
+  const TevotModel loaded = TevotModel::load(path);
+  EXPECT_FALSE(loaded.config().include_history);
+  for (const dta::DtaSample& sample : traces[0].samples) {
+    EXPECT_EQ(loaded.predictDelay(sample.a, sample.b, sample.prev_a,
+                                  sample.prev_b, traces[0].corner),
+              model.predictDelay(sample.a, sample.b, sample.prev_a,
+                                 sample.prev_b, traces[0].corner));
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(TevotModel::load(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tevot::core

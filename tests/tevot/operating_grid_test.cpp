@@ -1,0 +1,59 @@
+// Table I grid tests.
+#include "tevot/operating_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace tevot::core {
+namespace {
+
+TEST(OperatingGridTest, PaperGridHas100Conditions) {
+  const OperatingGrid grid = OperatingGrid::paper();
+  EXPECT_EQ(grid.voltagePoints(), 20);
+  EXPECT_EQ(grid.temperaturePoints(), 5);
+  const auto corners = grid.corners();
+  ASSERT_EQ(corners.size(), 100u);
+  EXPECT_DOUBLE_EQ(corners.front().voltage, 0.81);
+  EXPECT_DOUBLE_EQ(corners.front().temperature, 0.0);
+  EXPECT_NEAR(corners.back().voltage, 1.00, 1e-12);
+  EXPECT_DOUBLE_EQ(corners.back().temperature, 100.0);
+  // All voltages on the 0.01 V grid, temperatures on the 25 C grid.
+  for (const liberty::Corner& corner : corners) {
+    const double v_steps = (corner.voltage - 0.81) / 0.01;
+    EXPECT_NEAR(v_steps, std::round(v_steps), 1e-9);
+    const double t_steps = corner.temperature / 25.0;
+    EXPECT_NEAR(t_steps, std::round(t_steps), 1e-9);
+  }
+}
+
+TEST(OperatingGridTest, SubsampleHitsEndpointsAndGridPoints) {
+  const OperatingGrid grid = OperatingGrid::paper();
+  const auto sub = grid.subsampled(3, 3);
+  ASSERT_EQ(sub.size(), 9u);
+  EXPECT_DOUBLE_EQ(sub.front().voltage, 0.81);
+  EXPECT_DOUBLE_EQ(sub.front().temperature, 0.0);
+  EXPECT_NEAR(sub.back().voltage, 1.00, 1e-12);
+  EXPECT_DOUBLE_EQ(sub.back().temperature, 100.0);
+  std::set<double> voltages, temperatures;
+  for (const liberty::Corner& corner : sub) {
+    voltages.insert(corner.voltage);
+    temperatures.insert(corner.temperature);
+  }
+  EXPECT_EQ(voltages.size(), 3u);
+  EXPECT_EQ(temperatures.size(), 3u);
+  // Middle voltage snaps to a Table I point.
+  EXPECT_TRUE(voltages.count(0.9) == 1 || voltages.count(0.91) == 1);
+}
+
+TEST(OperatingGridTest, SingletonSubsample) {
+  const auto one = OperatingGrid::paper().subsampled(1, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].voltage, 0.81);
+  EXPECT_THROW(OperatingGrid::paper().subsampled(0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::core

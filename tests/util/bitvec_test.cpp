@@ -1,0 +1,51 @@
+// Bit packing/unpacking round-trips and float bit reinterpretation.
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tevot::util {
+namespace {
+
+TEST(BitvecTest, RoundTripRandomWords) {
+  Rng rng(5);
+  for (int width : {1, 7, 8, 31, 32, 33, 63, 64}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::uint64_t mask =
+          width == 64 ? ~0ULL : (1ULL << width) - 1;
+      const std::uint64_t word = rng.next() & mask;
+      const auto bits = toBits(word, width);
+      ASSERT_EQ(bits.size(), static_cast<std::size_t>(width));
+      EXPECT_EQ(packBits(bits), word);
+    }
+  }
+}
+
+TEST(BitvecTest, LsbFirstLayout) {
+  const auto bits = toBits(0b1011u, 4);
+  EXPECT_EQ(bits[0], 1);
+  EXPECT_EQ(bits[1], 1);
+  EXPECT_EQ(bits[2], 0);
+  EXPECT_EQ(bits[3], 1);
+}
+
+TEST(BitvecTest, PopcountAndHamming) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(~0ULL), 64);
+  EXPECT_EQ(popcount64(0xf0f0ULL), 8);
+  EXPECT_EQ(hammingDistance(0, 0), 0);
+  EXPECT_EQ(hammingDistance(0xffULL, 0x0fULL), 4);
+  EXPECT_EQ(hammingDistance(~0ULL, 0), 64);
+}
+
+TEST(BitvecTest, FloatBitsRoundTrip) {
+  for (const float value : {0.0f, 1.0f, -1.0f, 3.14159f, 1e-30f, 1e30f}) {
+    EXPECT_EQ(bitsToFloat(floatToBits(value)), value);
+  }
+  EXPECT_EQ(floatToBits(1.0f), 0x3f800000u);
+  EXPECT_EQ(floatToBits(-2.0f), 0xc0000000u);
+}
+
+}  // namespace
+}  // namespace tevot::util

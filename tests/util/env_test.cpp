@@ -1,0 +1,63 @@
+// Environment-knob parsing, exercised through setenv.
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace tevot::util {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetVar(const char* value) {
+    ::setenv("TEVOT_TEST_VAR", value, 1);
+  }
+  void TearDown() override { ::unsetenv("TEVOT_TEST_VAR"); }
+};
+
+TEST_F(EnvTest, StringFallbacks) {
+  ::unsetenv("TEVOT_TEST_VAR");
+  EXPECT_EQ(envString("TEVOT_TEST_VAR", "dflt"), "dflt");
+  SetVar("");
+  EXPECT_EQ(envString("TEVOT_TEST_VAR", "dflt"), "dflt");
+  SetVar("value");
+  EXPECT_EQ(envString("TEVOT_TEST_VAR", "dflt"), "value");
+}
+
+TEST_F(EnvTest, IntParsing) {
+  ::unsetenv("TEVOT_TEST_VAR");
+  EXPECT_EQ(envInt("TEVOT_TEST_VAR", 42), 42);
+  SetVar("123");
+  EXPECT_EQ(envInt("TEVOT_TEST_VAR", 42), 123);
+  SetVar("-7");
+  EXPECT_EQ(envInt("TEVOT_TEST_VAR", 42), -7);
+  SetVar("12abc");
+  EXPECT_EQ(envInt("TEVOT_TEST_VAR", 42), 42);  // trailing junk rejected
+  SetVar("abc");
+  EXPECT_EQ(envInt("TEVOT_TEST_VAR", 42), 42);
+}
+
+TEST_F(EnvTest, DoubleParsing) {
+  SetVar("2.5");
+  EXPECT_DOUBLE_EQ(envDouble("TEVOT_TEST_VAR", 1.0), 2.5);
+  SetVar("nonsense");
+  EXPECT_DOUBLE_EQ(envDouble("TEVOT_TEST_VAR", 1.0), 1.0);
+}
+
+TEST_F(EnvTest, FlagParsing) {
+  ::unsetenv("TEVOT_TEST_VAR");
+  EXPECT_FALSE(envFlag("TEVOT_TEST_VAR"));
+  EXPECT_TRUE(envFlag("TEVOT_TEST_VAR", true));
+  for (const char* yes : {"1", "true", "TRUE", "Yes", "on"}) {
+    SetVar(yes);
+    EXPECT_TRUE(envFlag("TEVOT_TEST_VAR")) << yes;
+  }
+  for (const char* no : {"0", "false", "off", "banana"}) {
+    SetVar(no);
+    EXPECT_FALSE(envFlag("TEVOT_TEST_VAR")) << no;
+  }
+}
+
+}  // namespace
+}  // namespace tevot::util

@@ -1,0 +1,124 @@
+// Tests for the xoshiro256** generator: determinism, range contracts,
+// and coarse distribution sanity (these are not statistical-quality
+// tests — xoshiro's quality is established upstream — but regressions
+// in seeding or mapping would show up here).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace tevot::util {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next());
+  rng.reseed(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 300; ++i) {
+      EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.nextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextGaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.nextGaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(29);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.nextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  Rng rng(37);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = values;
+  std::shuffle(values.begin(), values.end(), rng);
+  EXPECT_TRUE(std::is_permutation(values.begin(), values.end(),
+                                  original.begin()));
+}
+
+}  // namespace
+}  // namespace tevot::util

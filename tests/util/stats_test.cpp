@@ -1,0 +1,92 @@
+// RunningStats (Welford) and Histogram tests, including the merge
+// identity used when accumulating per-corner statistics in parallel.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tevot::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZeroed) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.7) * 10.0 + i * 0.1;
+    all.add(v);
+    (i < 37 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats stats, empty;
+  stats.add(1.0);
+  stats.add(3.0);
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.add(0.5);    // bin 0
+  histogram.add(3.0);    // bin 1
+  histogram.add(9.9);    // bin 4
+  histogram.add(-5.0);   // clamps to bin 0
+  histogram.add(100.0);  // clamps to bin 4
+  EXPECT_EQ(histogram.total(), 5u);
+  EXPECT_EQ(histogram.binCount(0), 2u);
+  EXPECT_EQ(histogram.binCount(1), 1u);
+  EXPECT_EQ(histogram.binCount(2), 0u);
+  EXPECT_EQ(histogram.binCount(4), 2u);
+  EXPECT_DOUBLE_EQ(histogram.binLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.binHigh(1), 4.0);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+  Histogram histogram(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) histogram.add(i + 0.5);
+  EXPECT_NEAR(histogram.quantile(0.0), 0.5, 1.0);
+  EXPECT_NEAR(histogram.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(histogram.quantile(1.0), 99.5, 1.0);
+}
+
+}  // namespace
+}  // namespace tevot::util

@@ -1,0 +1,230 @@
+// tevot_cli — command-line driver for the library's main flows, so
+// the characterization/training pipeline can be scripted without
+// writing C++.
+//
+//   tevot_cli fu-list
+//   tevot_cli export-verilog <fu> <file.v>
+//   tevot_cli export-lib <file.lib>
+//   tevot_cli sdf <fu> <V> <T> <file.sdf>
+//   tevot_cli sta <fu> <V> <T>
+//   tevot_cli characterize <fu> <V> <T> <cycles> [csv-file]
+//   tevot_cli train <fu> <model-file> [cycles-per-corner]
+//   tevot_cli predict <model-file> <V> <T> <a> <b> <prev_a> <prev_b>
+//                     [tclk_ps]
+//
+// FU names: int_add, int_mul, fp_add, fp_mul. Numeric operands accept
+// 0x-prefixed hex. `train` uses the Fig. 3 3x3 corner subset with
+// random workloads; `predict` prints the predicted dynamic delay and,
+// if a clock period is given, the error classification.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "liberty/lib_format.hpp"
+#include "netlist/verilog.hpp"
+#include "sdf/sdf.hpp"
+#include "tevot/operating_grid.hpp"
+#include "tevot/pipeline.hpp"
+
+namespace {
+
+using namespace tevot;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tevot_cli <command> [args]\n"
+               "  fu-list\n"
+               "  export-verilog <fu> <file.v>\n"
+               "  export-lib <file.lib>\n"
+               "  sdf <fu> <V> <T> <file.sdf>\n"
+               "  sta <fu> <V> <T>\n"
+               "  characterize <fu> <V> <T> <cycles> [csv-file]\n"
+               "  train <fu> <model-file> [cycles-per-corner]\n"
+               "  predict <model-file> <V> <T> <a> <b> <prev_a> <prev_b> "
+               "[tclk_ps]\n"
+               "fu: int_add | int_mul | fp_add | fp_mul\n");
+  return 2;
+}
+
+bool fuFromName(const std::string& name, circuits::FuKind& kind) {
+  if (name == "int_add") kind = circuits::FuKind::kIntAdd;
+  else if (name == "int_mul") kind = circuits::FuKind::kIntMul;
+  else if (name == "fp_add") kind = circuits::FuKind::kFpAdd;
+  else if (name == "fp_mul") kind = circuits::FuKind::kFpMul;
+  else return false;
+  return true;
+}
+
+std::uint32_t parseWord(const char* text) {
+  return static_cast<std::uint32_t>(std::strtoul(text, nullptr, 0));
+}
+
+int cmdFuList() {
+  std::printf("%-8s %8s %8s %7s\n", "fu", "gates", "nets", "depth");
+  for (const circuits::FuKind kind : circuits::kAllFus) {
+    const netlist::Netlist nl = circuits::buildFu(kind);
+    std::printf("%-8s %8zu %8zu %7d\n",
+                std::string(circuits::fuName(kind)).c_str(),
+                nl.gateCount(), nl.netCount(), nl.depth());
+  }
+  return 0;
+}
+
+int cmdExportVerilog(const std::string& fu, const std::string& path) {
+  circuits::FuKind kind;
+  if (!fuFromName(fu, kind)) return usage();
+  netlist::writeVerilogFile(path, circuits::buildFu(kind));
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmdExportLib(const std::string& path) {
+  liberty::LibertyLibrary library;
+  library.cells = liberty::CellLibrary::defaultLibrary();
+  liberty::writeLibertyFile(path, library);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmdSdf(const std::string& fu, double v, double t,
+           const std::string& path) {
+  circuits::FuKind kind;
+  if (!fuFromName(fu, kind)) return usage();
+  core::FuContext context(kind);
+  sdf::writeSdfFile(path, context.netlist(),
+                    context.delaysAt({v, t}));
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmdSta(const std::string& fu, double v, double t) {
+  circuits::FuKind kind;
+  if (!fuFromName(fu, kind)) return usage();
+  core::FuContext context(kind);
+  std::printf("%s @ (%.2f V, %.0f C): critical path %.1f ps\n",
+              std::string(circuits::fuName(kind)).c_str(), v, t,
+              context.staCriticalPathPs({v, t}));
+  return 0;
+}
+
+int cmdCharacterize(const std::string& fu, double v, double t,
+                    long cycles, const char* csv_path) {
+  circuits::FuKind kind;
+  if (!fuFromName(fu, kind)) return usage();
+  core::FuContext context(kind);
+  util::Rng rng(1);
+  const auto workload = dta::randomWorkloadFor(
+      kind, static_cast<std::size_t>(cycles), rng);
+  const dta::DtaTrace trace = context.characterize({v, t}, workload);
+  const auto stats = trace.delayStats();
+  std::printf("%s @ (%.2f V, %.0f C), %zu cycles:\n",
+              std::string(circuits::fuName(kind)).c_str(), v, t,
+              trace.samples.size());
+  std::printf("  dynamic delay: mean %.1f ps, stddev %.1f ps, max %.1f "
+              "ps\n",
+              stats.mean(), stats.stddev(), stats.max());
+  for (const double speedup : dta::kClockSpeedups) {
+    const double tclk = dta::speedupClockPs(trace.baseClockPs(), speedup);
+    std::printf("  TER @ +%2.0f%% speedup (%.1f ps): %.3f%%\n",
+                speedup * 100.0, tclk,
+                100.0 * trace.timingErrorRate(tclk));
+  }
+  if (csv_path != nullptr) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "cannot open %s\n", csv_path);
+      return 1;
+    }
+    csv << "cycle,a,b,prev_a,prev_b,delay_ps\n";
+    for (std::size_t i = 0; i < trace.samples.size(); ++i) {
+      const dta::DtaSample& sample = trace.samples[i];
+      csv << i << ',' << sample.a << ',' << sample.b << ','
+          << sample.prev_a << ',' << sample.prev_b << ','
+          << sample.delay_ps << '\n';
+    }
+    std::printf("  wrote %s\n", csv_path);
+  }
+  return 0;
+}
+
+int cmdTrain(const std::string& fu, const std::string& model_path,
+             long cycles) {
+  circuits::FuKind kind;
+  if (!fuFromName(fu, kind)) return usage();
+  core::FuContext context(kind);
+  util::Rng rng(7);
+  std::vector<dta::DtaTrace> traces;
+  for (const liberty::Corner& corner :
+       core::OperatingGrid::paper().subsampled(3, 3)) {
+    traces.push_back(context.characterize(
+        corner, dta::randomWorkloadFor(
+                    kind, static_cast<std::size_t>(cycles), rng)));
+    std::printf("characterized (%.2f V, %3.0f C): mean %.1f ps\n",
+                corner.voltage, corner.temperature,
+                traces.back().meanDelayPs());
+  }
+  core::TevotModel model;
+  model.train(traces, rng);
+  model.save(model_path);
+  std::printf("trained on %zu corners x %ld cycles; saved %s\n",
+              traces.size(), cycles, model_path.c_str());
+  return 0;
+}
+
+int cmdPredict(const std::string& model_path, double v, double t,
+               std::uint32_t a, std::uint32_t b, std::uint32_t prev_a,
+               std::uint32_t prev_b, const char* tclk_text) {
+  const core::TevotModel model = core::TevotModel::load(model_path);
+  const double delay =
+      model.predictDelay(a, b, prev_a, prev_b, {v, t});
+  std::printf("predicted dynamic delay: %.1f ps\n", delay);
+  if (tclk_text != nullptr) {
+    const double tclk = std::atof(tclk_text);
+    std::printf("at tclk = %.1f ps: %s\n", tclk,
+                delay > tclk ? "TIMING ERROR" : "timing correct");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "fu-list" && argc == 2) return cmdFuList();
+    if (command == "export-verilog" && argc == 4) {
+      return cmdExportVerilog(argv[2], argv[3]);
+    }
+    if (command == "export-lib" && argc == 3) return cmdExportLib(argv[2]);
+    if (command == "sdf" && argc == 6) {
+      return cmdSdf(argv[2], std::atof(argv[3]), std::atof(argv[4]),
+                    argv[5]);
+    }
+    if (command == "sta" && argc == 5) {
+      return cmdSta(argv[2], std::atof(argv[3]), std::atof(argv[4]));
+    }
+    if (command == "characterize" && (argc == 6 || argc == 7)) {
+      return cmdCharacterize(argv[2], std::atof(argv[3]),
+                             std::atof(argv[4]), std::atol(argv[5]),
+                             argc == 7 ? argv[6] : nullptr);
+    }
+    if (command == "train" && (argc == 4 || argc == 5)) {
+      return cmdTrain(argv[2], argv[3],
+                      argc == 5 ? std::atol(argv[4]) : 1500);
+    }
+    if (command == "predict" && (argc == 9 || argc == 10)) {
+      return cmdPredict(argv[2], std::atof(argv[3]), std::atof(argv[4]),
+                        parseWord(argv[5]), parseWord(argv[6]),
+                        parseWord(argv[7]), parseWord(argv[8]),
+                        argc == 10 ? argv[9] : nullptr);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "tevot_cli: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
