@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_delay_variation.dir/bench_fig3_delay_variation.cpp.o"
+  "CMakeFiles/bench_fig3_delay_variation.dir/bench_fig3_delay_variation.cpp.o.d"
+  "bench_fig3_delay_variation"
+  "bench_fig3_delay_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_delay_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_vs_simulation.dir/bench_speedup_vs_simulation.cpp.o"
+  "CMakeFiles/bench_speedup_vs_simulation.dir/bench_speedup_vs_simulation.cpp.o.d"
+  "bench_speedup_vs_simulation"
+  "bench_speedup_vs_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

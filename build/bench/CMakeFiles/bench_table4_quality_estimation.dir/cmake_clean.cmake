@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_quality_estimation.dir/bench_table4_quality_estimation.cpp.o"
+  "CMakeFiles/bench_table4_quality_estimation.dir/bench_table4_quality_estimation.cpp.o.d"
+  "bench_table4_quality_estimation"
+  "bench_table4_quality_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_quality_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/tevot_bench_common.dir/bench_common.cpp.o.d"
+  "libtevot_bench_common.a"
+  "libtevot_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardband_explorer.dir/guardband_explorer.cpp.o"
+  "CMakeFiles/guardband_explorer.dir/guardband_explorer.cpp.o.d"
+  "guardband_explorer"
+  "guardband_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardband_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

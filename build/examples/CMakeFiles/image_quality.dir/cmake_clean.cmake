@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_quality.dir/image_quality.cpp.o"
+  "CMakeFiles/image_quality.dir/image_quality.cpp.o.d"
+  "image_quality"
+  "image_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_vcd_flow.dir/sdf_vcd_flow.cpp.o"
+  "CMakeFiles/sdf_vcd_flow.dir/sdf_vcd_flow.cpp.o.d"
+  "sdf_vcd_flow"
+  "sdf_vcd_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_vcd_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sdf_vcd_flow.
+# This may be replaced when dependencies are built.

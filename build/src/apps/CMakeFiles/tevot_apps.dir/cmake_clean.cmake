@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_apps.dir/executor.cpp.o"
+  "CMakeFiles/tevot_apps.dir/executor.cpp.o.d"
+  "CMakeFiles/tevot_apps.dir/filters.cpp.o"
+  "CMakeFiles/tevot_apps.dir/filters.cpp.o.d"
+  "CMakeFiles/tevot_apps.dir/image.cpp.o"
+  "CMakeFiles/tevot_apps.dir/image.cpp.o.d"
+  "CMakeFiles/tevot_apps.dir/profile.cpp.o"
+  "CMakeFiles/tevot_apps.dir/profile.cpp.o.d"
+  "CMakeFiles/tevot_apps.dir/synth_images.cpp.o"
+  "CMakeFiles/tevot_apps.dir/synth_images.cpp.o.d"
+  "libtevot_apps.a"
+  "libtevot_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/components.cpp" "src/circuits/CMakeFiles/tevot_circuits.dir/components.cpp.o" "gcc" "src/circuits/CMakeFiles/tevot_circuits.dir/components.cpp.o.d"
+  "/root/repo/src/circuits/fp_add.cpp" "src/circuits/CMakeFiles/tevot_circuits.dir/fp_add.cpp.o" "gcc" "src/circuits/CMakeFiles/tevot_circuits.dir/fp_add.cpp.o.d"
+  "/root/repo/src/circuits/fp_mul.cpp" "src/circuits/CMakeFiles/tevot_circuits.dir/fp_mul.cpp.o" "gcc" "src/circuits/CMakeFiles/tevot_circuits.dir/fp_mul.cpp.o.d"
+  "/root/repo/src/circuits/fp_ref.cpp" "src/circuits/CMakeFiles/tevot_circuits.dir/fp_ref.cpp.o" "gcc" "src/circuits/CMakeFiles/tevot_circuits.dir/fp_ref.cpp.o.d"
+  "/root/repo/src/circuits/fu.cpp" "src/circuits/CMakeFiles/tevot_circuits.dir/fu.cpp.o" "gcc" "src/circuits/CMakeFiles/tevot_circuits.dir/fu.cpp.o.d"
+  "/root/repo/src/circuits/int_add.cpp" "src/circuits/CMakeFiles/tevot_circuits.dir/int_add.cpp.o" "gcc" "src/circuits/CMakeFiles/tevot_circuits.dir/int_add.cpp.o.d"
+  "/root/repo/src/circuits/int_mul.cpp" "src/circuits/CMakeFiles/tevot_circuits.dir/int_mul.cpp.o" "gcc" "src/circuits/CMakeFiles/tevot_circuits.dir/int_mul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tevot_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tevot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_circuits.dir/components.cpp.o"
+  "CMakeFiles/tevot_circuits.dir/components.cpp.o.d"
+  "CMakeFiles/tevot_circuits.dir/fp_add.cpp.o"
+  "CMakeFiles/tevot_circuits.dir/fp_add.cpp.o.d"
+  "CMakeFiles/tevot_circuits.dir/fp_mul.cpp.o"
+  "CMakeFiles/tevot_circuits.dir/fp_mul.cpp.o.d"
+  "CMakeFiles/tevot_circuits.dir/fp_ref.cpp.o"
+  "CMakeFiles/tevot_circuits.dir/fp_ref.cpp.o.d"
+  "CMakeFiles/tevot_circuits.dir/fu.cpp.o"
+  "CMakeFiles/tevot_circuits.dir/fu.cpp.o.d"
+  "CMakeFiles/tevot_circuits.dir/int_add.cpp.o"
+  "CMakeFiles/tevot_circuits.dir/int_add.cpp.o.d"
+  "CMakeFiles/tevot_circuits.dir/int_mul.cpp.o"
+  "CMakeFiles/tevot_circuits.dir/int_mul.cpp.o.d"
+  "libtevot_circuits.a"
+  "libtevot_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

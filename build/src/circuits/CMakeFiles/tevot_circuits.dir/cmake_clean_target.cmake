@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtevot_circuits.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dta/dta.cpp" "src/dta/CMakeFiles/tevot_dta.dir/dta.cpp.o" "gcc" "src/dta/CMakeFiles/tevot_dta.dir/dta.cpp.o.d"
+  "/root/repo/src/dta/vcd_extract.cpp" "src/dta/CMakeFiles/tevot_dta.dir/vcd_extract.cpp.o" "gcc" "src/dta/CMakeFiles/tevot_dta.dir/vcd_extract.cpp.o.d"
+  "/root/repo/src/dta/workload.cpp" "src/dta/CMakeFiles/tevot_dta.dir/workload.cpp.o" "gcc" "src/dta/CMakeFiles/tevot_dta.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/tevot_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tevot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcd/CMakeFiles/tevot_vcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tevot_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tevot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tevot_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

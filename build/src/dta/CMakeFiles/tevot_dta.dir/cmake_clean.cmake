@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_dta.dir/dta.cpp.o"
+  "CMakeFiles/tevot_dta.dir/dta.cpp.o.d"
+  "CMakeFiles/tevot_dta.dir/vcd_extract.cpp.o"
+  "CMakeFiles/tevot_dta.dir/vcd_extract.cpp.o.d"
+  "CMakeFiles/tevot_dta.dir/workload.cpp.o"
+  "CMakeFiles/tevot_dta.dir/workload.cpp.o.d"
+  "libtevot_dta.a"
+  "libtevot_dta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_dta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/cell_library.cpp" "src/liberty/CMakeFiles/tevot_liberty.dir/cell_library.cpp.o" "gcc" "src/liberty/CMakeFiles/tevot_liberty.dir/cell_library.cpp.o.d"
+  "/root/repo/src/liberty/corner.cpp" "src/liberty/CMakeFiles/tevot_liberty.dir/corner.cpp.o" "gcc" "src/liberty/CMakeFiles/tevot_liberty.dir/corner.cpp.o.d"
+  "/root/repo/src/liberty/lib_format.cpp" "src/liberty/CMakeFiles/tevot_liberty.dir/lib_format.cpp.o" "gcc" "src/liberty/CMakeFiles/tevot_liberty.dir/lib_format.cpp.o.d"
+  "/root/repo/src/liberty/vt_model.cpp" "src/liberty/CMakeFiles/tevot_liberty.dir/vt_model.cpp.o" "gcc" "src/liberty/CMakeFiles/tevot_liberty.dir/vt_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tevot_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tevot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_liberty.dir/cell_library.cpp.o"
+  "CMakeFiles/tevot_liberty.dir/cell_library.cpp.o.d"
+  "CMakeFiles/tevot_liberty.dir/corner.cpp.o"
+  "CMakeFiles/tevot_liberty.dir/corner.cpp.o.d"
+  "CMakeFiles/tevot_liberty.dir/lib_format.cpp.o"
+  "CMakeFiles/tevot_liberty.dir/lib_format.cpp.o.d"
+  "CMakeFiles/tevot_liberty.dir/vt_model.cpp.o"
+  "CMakeFiles/tevot_liberty.dir/vt_model.cpp.o.d"
+  "libtevot_liberty.a"
+  "libtevot_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_ml.dir/dataset.cpp.o"
+  "CMakeFiles/tevot_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/tevot_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/tevot_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/tevot_ml.dir/knn.cpp.o"
+  "CMakeFiles/tevot_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/tevot_ml.dir/linear.cpp.o"
+  "CMakeFiles/tevot_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/tevot_ml.dir/metrics.cpp.o"
+  "CMakeFiles/tevot_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/tevot_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/tevot_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/tevot_ml.dir/serialize.cpp.o"
+  "CMakeFiles/tevot_ml.dir/serialize.cpp.o.d"
+  "libtevot_ml.a"
+  "libtevot_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

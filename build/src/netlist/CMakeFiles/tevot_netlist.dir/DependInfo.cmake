@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell.cpp" "src/netlist/CMakeFiles/tevot_netlist.dir/cell.cpp.o" "gcc" "src/netlist/CMakeFiles/tevot_netlist.dir/cell.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/tevot_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/tevot_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/tevot_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/tevot_netlist.dir/verilog.cpp.o.d"
+  "/root/repo/src/netlist/wordbus.cpp" "src/netlist/CMakeFiles/tevot_netlist.dir/wordbus.cpp.o" "gcc" "src/netlist/CMakeFiles/tevot_netlist.dir/wordbus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tevot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_netlist.dir/cell.cpp.o"
+  "CMakeFiles/tevot_netlist.dir/cell.cpp.o.d"
+  "CMakeFiles/tevot_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/tevot_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/tevot_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/tevot_netlist.dir/verilog.cpp.o.d"
+  "CMakeFiles/tevot_netlist.dir/wordbus.cpp.o"
+  "CMakeFiles/tevot_netlist.dir/wordbus.cpp.o.d"
+  "libtevot_netlist.a"
+  "libtevot_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

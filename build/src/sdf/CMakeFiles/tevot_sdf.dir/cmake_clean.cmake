@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_sdf.dir/sdf.cpp.o"
+  "CMakeFiles/tevot_sdf.dir/sdf.cpp.o.d"
+  "libtevot_sdf.a"
+  "libtevot_sdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_sim.dir/timing_sim.cpp.o"
+  "CMakeFiles/tevot_sim.dir/timing_sim.cpp.o.d"
+  "CMakeFiles/tevot_sim.dir/vcd_dump.cpp.o"
+  "CMakeFiles/tevot_sim.dir/vcd_dump.cpp.o.d"
+  "libtevot_sim.a"
+  "libtevot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_sta.dir/sta.cpp.o"
+  "CMakeFiles/tevot_sta.dir/sta.cpp.o.d"
+  "libtevot_sta.a"
+  "libtevot_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

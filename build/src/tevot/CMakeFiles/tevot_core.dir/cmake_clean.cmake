@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_core.dir/baselines.cpp.o"
+  "CMakeFiles/tevot_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/tevot_core.dir/evaluate.cpp.o"
+  "CMakeFiles/tevot_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/tevot_core.dir/features.cpp.o"
+  "CMakeFiles/tevot_core.dir/features.cpp.o.d"
+  "CMakeFiles/tevot_core.dir/model.cpp.o"
+  "CMakeFiles/tevot_core.dir/model.cpp.o.d"
+  "CMakeFiles/tevot_core.dir/operating_grid.cpp.o"
+  "CMakeFiles/tevot_core.dir/operating_grid.cpp.o.d"
+  "CMakeFiles/tevot_core.dir/pipeline.cpp.o"
+  "CMakeFiles/tevot_core.dir/pipeline.cpp.o.d"
+  "libtevot_core.a"
+  "libtevot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_util.dir/bitvec.cpp.o"
+  "CMakeFiles/tevot_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/tevot_util.dir/env.cpp.o"
+  "CMakeFiles/tevot_util.dir/env.cpp.o.d"
+  "CMakeFiles/tevot_util.dir/log.cpp.o"
+  "CMakeFiles/tevot_util.dir/log.cpp.o.d"
+  "CMakeFiles/tevot_util.dir/rng.cpp.o"
+  "CMakeFiles/tevot_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tevot_util.dir/stats.cpp.o"
+  "CMakeFiles/tevot_util.dir/stats.cpp.o.d"
+  "libtevot_util.a"
+  "libtevot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_vcd.dir/vcd.cpp.o"
+  "CMakeFiles/tevot_vcd.dir/vcd.cpp.o.d"
+  "libtevot_vcd.a"
+  "libtevot_vcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_vcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

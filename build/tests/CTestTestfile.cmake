@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("liberty")
+subdirs("sta")
+subdirs("sdf")
+subdirs("vcd")
+subdirs("sim")
+subdirs("circuits")
+subdirs("dta")
+subdirs("ml")
+subdirs("tevot")
+subdirs("apps")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_executor_test.dir/executor_test.cpp.o"
+  "CMakeFiles/apps_executor_test.dir/executor_test.cpp.o.d"
+  "apps_executor_test"
+  "apps_executor_test.pdb"
+  "apps_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_filters_test.dir/filters_test.cpp.o"
+  "CMakeFiles/apps_filters_test.dir/filters_test.cpp.o.d"
+  "apps_filters_test"
+  "apps_filters_test.pdb"
+  "apps_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_image_test.dir/image_test.cpp.o"
+  "CMakeFiles/apps_image_test.dir/image_test.cpp.o.d"
+  "apps_image_test"
+  "apps_image_test.pdb"
+  "apps_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_quality_test.dir/quality_test.cpp.o"
+  "CMakeFiles/apps_quality_test.dir/quality_test.cpp.o.d"
+  "apps_quality_test"
+  "apps_quality_test.pdb"
+  "apps_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_components_test.dir/components_test.cpp.o"
+  "CMakeFiles/circuits_components_test.dir/components_test.cpp.o.d"
+  "circuits_components_test"
+  "circuits_components_test.pdb"
+  "circuits_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

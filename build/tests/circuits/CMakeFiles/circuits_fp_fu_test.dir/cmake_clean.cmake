@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_fp_fu_test.dir/fp_fu_test.cpp.o"
+  "CMakeFiles/circuits_fp_fu_test.dir/fp_fu_test.cpp.o.d"
+  "circuits_fp_fu_test"
+  "circuits_fp_fu_test.pdb"
+  "circuits_fp_fu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_fp_fu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

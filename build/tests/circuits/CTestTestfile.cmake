@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/circuits
+# Build directory: /root/repo/build/tests/circuits
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/circuits/circuits_components_test[1]_include.cmake")
+include("/root/repo/build/tests/circuits/circuits_int_fu_test[1]_include.cmake")
+include("/root/repo/build/tests/circuits/circuits_fp_fu_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_dta_test.dir/dta_test.cpp.o"
+  "CMakeFiles/dta_dta_test.dir/dta_test.cpp.o.d"
+  "dta_dta_test"
+  "dta_dta_test.pdb"
+  "dta_dta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_dta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

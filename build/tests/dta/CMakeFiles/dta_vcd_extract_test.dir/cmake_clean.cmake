@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_vcd_extract_test.dir/vcd_extract_test.cpp.o"
+  "CMakeFiles/dta_vcd_extract_test.dir/vcd_extract_test.cpp.o.d"
+  "dta_vcd_extract_test"
+  "dta_vcd_extract_test.pdb"
+  "dta_vcd_extract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_vcd_extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dta_vcd_extract_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dta_workload_test.dir/workload_test.cpp.o"
+  "CMakeFiles/dta_workload_test.dir/workload_test.cpp.o.d"
+  "dta_workload_test"
+  "dta_workload_test.pdb"
+  "dta_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dta_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dta
+# Build directory: /root/repo/build/tests/dta
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dta/dta_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/dta/dta_dta_test[1]_include.cmake")
+include("/root/repo/build/tests/dta/dta_vcd_extract_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_cell_library_test.dir/cell_library_test.cpp.o"
+  "CMakeFiles/liberty_cell_library_test.dir/cell_library_test.cpp.o.d"
+  "liberty_cell_library_test"
+  "liberty_cell_library_test.pdb"
+  "liberty_cell_library_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_cell_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

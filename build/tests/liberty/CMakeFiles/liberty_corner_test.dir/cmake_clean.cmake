@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_corner_test.dir/corner_test.cpp.o"
+  "CMakeFiles/liberty_corner_test.dir/corner_test.cpp.o.d"
+  "liberty_corner_test"
+  "liberty_corner_test.pdb"
+  "liberty_corner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_lib_format_test.dir/lib_format_test.cpp.o"
+  "CMakeFiles/liberty_lib_format_test.dir/lib_format_test.cpp.o.d"
+  "liberty_lib_format_test"
+  "liberty_lib_format_test.pdb"
+  "liberty_lib_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_lib_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

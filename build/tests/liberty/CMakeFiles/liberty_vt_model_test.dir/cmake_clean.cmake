@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_vt_model_test.dir/vt_model_test.cpp.o"
+  "CMakeFiles/liberty_vt_model_test.dir/vt_model_test.cpp.o.d"
+  "liberty_vt_model_test"
+  "liberty_vt_model_test.pdb"
+  "liberty_vt_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_vt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

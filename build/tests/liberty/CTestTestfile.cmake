@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/liberty
+# Build directory: /root/repo/build/tests/liberty
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/liberty/liberty_vt_model_test[1]_include.cmake")
+include("/root/repo/build/tests/liberty/liberty_cell_library_test[1]_include.cmake")
+include("/root/repo/build/tests/liberty/liberty_corner_test[1]_include.cmake")
+include("/root/repo/build/tests/liberty/liberty_lib_format_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_random_forest_test.dir/random_forest_test.cpp.o"
+  "CMakeFiles/ml_random_forest_test.dir/random_forest_test.cpp.o.d"
+  "ml_random_forest_test"
+  "ml_random_forest_test.pdb"
+  "ml_random_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_random_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ml
+# Build directory: /root/repo/build/tests/ml
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ml/ml_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_decision_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_random_forest_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_knn_linear_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_serialize_test[1]_include.cmake")

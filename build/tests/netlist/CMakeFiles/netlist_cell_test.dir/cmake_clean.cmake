@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_cell_test.dir/cell_test.cpp.o"
+  "CMakeFiles/netlist_cell_test.dir/cell_test.cpp.o.d"
+  "netlist_cell_test"
+  "netlist_cell_test.pdb"
+  "netlist_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

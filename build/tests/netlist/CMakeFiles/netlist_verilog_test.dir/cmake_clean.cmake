@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_verilog_test.dir/verilog_test.cpp.o"
+  "CMakeFiles/netlist_verilog_test.dir/verilog_test.cpp.o.d"
+  "netlist_verilog_test"
+  "netlist_verilog_test.pdb"
+  "netlist_verilog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_verilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

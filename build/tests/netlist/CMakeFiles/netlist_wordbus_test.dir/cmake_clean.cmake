@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_wordbus_test.dir/wordbus_test.cpp.o"
+  "CMakeFiles/netlist_wordbus_test.dir/wordbus_test.cpp.o.d"
+  "netlist_wordbus_test"
+  "netlist_wordbus_test.pdb"
+  "netlist_wordbus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_wordbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/netlist
+# Build directory: /root/repo/build/tests/netlist
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netlist/netlist_cell_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist/netlist_netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist/netlist_wordbus_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist/netlist_verilog_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_sdf_test.dir/sdf_test.cpp.o"
+  "CMakeFiles/sdf_sdf_test.dir/sdf_test.cpp.o.d"
+  "sdf_sdf_test"
+  "sdf_sdf_test.pdb"
+  "sdf_sdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_sdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_baselines_test.dir/baselines_test.cpp.o"
+  "CMakeFiles/tevot_baselines_test.dir/baselines_test.cpp.o.d"
+  "tevot_baselines_test"
+  "tevot_baselines_test.pdb"
+  "tevot_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tevot/end_to_end_test.cpp" "tests/tevot/CMakeFiles/tevot_end_to_end_test.dir/end_to_end_test.cpp.o" "gcc" "tests/tevot/CMakeFiles/tevot_end_to_end_test.dir/end_to_end_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tevot_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tevot/CMakeFiles/tevot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tevot_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dta/CMakeFiles/tevot_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/tevot_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tevot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcd/CMakeFiles/tevot_vcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/tevot_sdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tevot_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tevot_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tevot_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tevot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

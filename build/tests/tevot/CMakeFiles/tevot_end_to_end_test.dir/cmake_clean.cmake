@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_end_to_end_test.dir/end_to_end_test.cpp.o"
+  "CMakeFiles/tevot_end_to_end_test.dir/end_to_end_test.cpp.o.d"
+  "tevot_end_to_end_test"
+  "tevot_end_to_end_test.pdb"
+  "tevot_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

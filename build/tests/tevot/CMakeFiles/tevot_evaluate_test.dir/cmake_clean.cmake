@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_evaluate_test.dir/evaluate_test.cpp.o"
+  "CMakeFiles/tevot_evaluate_test.dir/evaluate_test.cpp.o.d"
+  "tevot_evaluate_test"
+  "tevot_evaluate_test.pdb"
+  "tevot_evaluate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_evaluate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

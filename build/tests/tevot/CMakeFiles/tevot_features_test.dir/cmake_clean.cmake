@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_features_test.dir/features_test.cpp.o"
+  "CMakeFiles/tevot_features_test.dir/features_test.cpp.o.d"
+  "tevot_features_test"
+  "tevot_features_test.pdb"
+  "tevot_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

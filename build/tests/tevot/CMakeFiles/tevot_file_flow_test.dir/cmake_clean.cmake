@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_file_flow_test.dir/file_flow_test.cpp.o"
+  "CMakeFiles/tevot_file_flow_test.dir/file_flow_test.cpp.o.d"
+  "tevot_file_flow_test"
+  "tevot_file_flow_test.pdb"
+  "tevot_file_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_file_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tevot_file_flow_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_model_test.dir/model_test.cpp.o"
+  "CMakeFiles/tevot_model_test.dir/model_test.cpp.o.d"
+  "tevot_model_test"
+  "tevot_model_test.pdb"
+  "tevot_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_operating_grid_test.dir/operating_grid_test.cpp.o"
+  "CMakeFiles/tevot_operating_grid_test.dir/operating_grid_test.cpp.o.d"
+  "tevot_operating_grid_test"
+  "tevot_operating_grid_test.pdb"
+  "tevot_operating_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_operating_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

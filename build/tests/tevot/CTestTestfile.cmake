@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tevot
+# Build directory: /root/repo/build/tests/tevot
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tevot/tevot_operating_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/tevot/tevot_features_test[1]_include.cmake")
+include("/root/repo/build/tests/tevot/tevot_model_test[1]_include.cmake")
+include("/root/repo/build/tests/tevot/tevot_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/tevot/tevot_evaluate_test[1]_include.cmake")
+include("/root/repo/build/tests/tevot/tevot_end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/tevot/tevot_file_flow_test[1]_include.cmake")

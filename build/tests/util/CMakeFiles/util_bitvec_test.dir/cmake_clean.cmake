@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bitvec_test.dir/bitvec_test.cpp.o"
+  "CMakeFiles/util_bitvec_test.dir/bitvec_test.cpp.o.d"
+  "util_bitvec_test"
+  "util_bitvec_test.pdb"
+  "util_bitvec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bitvec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

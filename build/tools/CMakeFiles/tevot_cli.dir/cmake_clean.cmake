@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tevot_cli.dir/tevot_cli.cpp.o"
+  "CMakeFiles/tevot_cli.dir/tevot_cli.cpp.o.d"
+  "tevot_cli"
+  "tevot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tevot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
