@@ -1,10 +1,14 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 namespace tevot::bench {
 
-BenchScale BenchScale::fromEnvironment() {
+BenchScale BenchScale::fromEnvironment(int argc, char** argv) {
   const bool full = util::fullScale();
   BenchScale scale;
   const auto grid = core::OperatingGrid::paper();
@@ -41,6 +45,17 @@ BenchScale BenchScale::fromEnvironment() {
       "TEVOT_IMAGES", static_cast<long>(scale.image_count)));
   scale.image_size = static_cast<int>(util::envInt(
       "TEVOT_IMAGE_SIZE", scale.image_size));
+  scale.jobs = static_cast<std::size_t>(
+      util::envInt("TEVOT_JOBS", static_cast<long>(scale.jobs)));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      scale.jobs = static_cast<std::size_t>(std::atol(argv[i + 1]));
+      ++i;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      scale.jobs = static_cast<std::size_t>(std::atol(argv[i] + 7));
+    }
+  }
+  if (scale.jobs == 0) scale.jobs = util::ThreadPool::hardwareThreads();
   return scale;
 }
 
@@ -88,15 +103,28 @@ std::vector<DatasetStreams> buildDatasets(circuits::FuKind kind,
 
 std::vector<DatasetTraces> characterizeAll(
     core::FuContext& context, const std::vector<DatasetStreams>& datasets,
-    const BenchScale& scale) {
+    const BenchScale& scale, util::ThreadPool& pool) {
+  // Flatten the (dataset x corner x train/test) grid into one job
+  // list, fan it out, then reassemble in the same order.
+  std::vector<dta::CharacterizeJob> jobs;
+  jobs.reserve(datasets.size() * scale.corners.size() * 2);
+  for (const DatasetStreams& dataset : datasets) {
+    for (const liberty::Corner& corner : scale.corners) {
+      jobs.push_back(context.characterizeJob(corner, dataset.train));
+      jobs.push_back(context.characterizeJob(corner, dataset.test));
+    }
+  }
+  std::vector<dta::DtaTrace> results = dta::characterizeAll(jobs, pool);
+
   std::vector<DatasetTraces> all;
   all.reserve(datasets.size());
+  std::size_t at = 0;
   for (const DatasetStreams& dataset : datasets) {
     DatasetTraces traces;
     traces.name = dataset.name;
-    for (const liberty::Corner& corner : scale.corners) {
-      traces.train.push_back(context.characterize(corner, dataset.train));
-      traces.test.push_back(context.characterize(corner, dataset.test));
+    for (std::size_t c = 0; c < scale.corners.size(); ++c) {
+      traces.train.push_back(std::move(results[at++]));
+      traces.test.push_back(std::move(results[at++]));
     }
     all.push_back(std::move(traces));
   }
@@ -130,6 +158,32 @@ std::string formatPercent(double fraction, int width) {
   std::snprintf(buffer, sizeof(buffer), "%*.2f%%", width - 1,
                 fraction * 100.0);
   return buffer;
+}
+
+void writeBenchJson(
+    const std::string& bench_name, std::size_t jobs, double wall_seconds,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::filesystem::path dir =
+      util::envString("TEVOT_BENCH_OUT", "bench_out");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path = dir / (bench_name + ".json");
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "writeBenchJson: cannot open %s\n",
+                 path.string().c_str());
+    return;
+  }
+  os << "{\n"
+     << "  \"bench\": \"" << bench_name << "\",\n"
+     << "  \"jobs\": " << jobs << ",\n"
+     << "  \"wall_clock_s\": " << wall_seconds;
+  for (const auto& [key, value] : metrics) {
+    os << ",\n  \"" << key << "\": " << value;
+  }
+  os << "\n}\n";
+  std::printf("wrote %s (jobs=%zu, wall=%.2fs)\n", path.string().c_str(),
+              jobs, wall_seconds);
 }
 
 }  // namespace tevot::bench

@@ -17,6 +17,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/profile.hpp"
@@ -26,6 +27,7 @@
 #include "tevot/operating_grid.hpp"
 #include "tevot/pipeline.hpp"
 #include "util/env.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tevot::bench {
 
@@ -37,9 +39,14 @@ struct BenchScale {
   std::size_t app_test_cycles;           ///< app test ops/corner
   std::size_t image_count;               ///< synthetic image set size
   int image_size;                        ///< image width == height
+  /// Characterization/training parallelism (thread count including
+  /// the main thread). Default 1; 0 selects the hardware count.
+  std::size_t jobs = 1;
 
-  /// Reads the default or TEVOT_FULL-scaled configuration.
-  static BenchScale fromEnvironment();
+  /// Reads the default or TEVOT_FULL-scaled configuration, then
+  /// applies a `--jobs N` command-line flag (also TEVOT_JOBS) when
+  /// argv is given.
+  static BenchScale fromEnvironment(int argc = 0, char** argv = nullptr);
 };
 
 /// Named dataset: a training-side stream (defines base clocks and
@@ -63,10 +70,12 @@ struct DatasetTraces {
   std::vector<dta::DtaTrace> test;   ///< one per corner
 };
 
-/// Runs DTA for every dataset at every corner.
+/// Runs DTA for every dataset at every corner, fanning the
+/// (dataset x corner x train/test) grid out on `pool`. Traces come
+/// back in input order, bit-identical for any thread count.
 std::vector<DatasetTraces> characterizeAll(
     core::FuContext& context, const std::vector<DatasetStreams>& datasets,
-    const BenchScale& scale);
+    const BenchScale& scale, util::ThreadPool& pool);
 
 /// Pools every dataset's training traces (the paper's random + 5%
 /// images training set).
@@ -81,5 +90,13 @@ core::EvalOutcome evaluateDataset(core::ErrorModel& model,
 
 /// Prints a right-aligned percentage cell.
 std::string formatPercent(double fraction, int width = 8);
+
+/// Writes `<dir>/<bench_name>.json` (dir from TEVOT_BENCH_OUT,
+/// default "bench_out") recording wall-clock seconds, the thread
+/// count and any extra metrics, so the speedup trajectory stays
+/// visible across PRs.
+void writeBenchJson(
+    const std::string& bench_name, std::size_t jobs, double wall_seconds,
+    const std::vector<std::pair<std::string, double>>& metrics = {});
 
 }  // namespace tevot::bench

@@ -7,6 +7,7 @@
 // dependence — hotter is faster at 0.81 V, slower at 1.00 V); random
 // data sensitizes markedly longer delays than the application data,
 // most visibly on INT ADD.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -19,18 +20,37 @@ using namespace tevot::bench;
 
 }  // namespace
 
-int main() {
-  BenchScale scale = BenchScale::fromEnvironment();
+int main(int argc, char** argv) {
+  BenchScale scale = BenchScale::fromEnvironment(argc, argv);
   // Fig. 3 uses the fixed 3x3 condition subset regardless of scale.
   scale.corners = core::OperatingGrid::paper().subsampled(3, 3);
+  util::ThreadPool pool(scale.jobs);
+  const auto bench_start = std::chrono::steady_clock::now();
 
   std::printf("=== Fig. 3: average dynamic delay (ps) ===\n");
-  std::printf("columns: (V, T) pairs; rows: dataset\n\n");
+  std::printf("columns: (V, T) pairs; rows: dataset (jobs=%zu)\n\n",
+              pool.threadCount());
 
   util::Rng rng(0xf193);
   for (const circuits::FuKind kind : circuits::kAllFus) {
     core::FuContext context(kind);
     const auto datasets = buildDatasets(kind, scale, rng);
+
+    // Fan the whole (dataset x corner) grid plus the four ITD
+    // extremes out on the pool; results come back in input order.
+    const liberty::Corner itd_corners[4] = {
+        {0.81, 0.0}, {0.81, 100.0}, {1.00, 0.0}, {1.00, 100.0}};
+    std::vector<dta::CharacterizeJob> jobs;
+    for (const DatasetStreams& dataset : datasets) {
+      for (const liberty::Corner& corner : scale.corners) {
+        jobs.push_back(context.characterizeJob(corner, dataset.test));
+      }
+    }
+    for (const liberty::Corner& corner : itd_corners) {
+      jobs.push_back(context.characterizeJob(corner, datasets[0].test));
+    }
+    const std::vector<dta::DtaTrace> traces =
+        dta::characterizeAll(jobs, pool);
 
     std::printf("%s (gates=%zu, depth=%d)\n",
                 std::string(circuits::fuName(kind)).c_str(),
@@ -40,30 +60,30 @@ int main() {
       std::printf(" (%.2f,%3.0f)", corner.voltage, corner.temperature);
     }
     std::printf("\n");
+    std::size_t at = 0;
     for (const DatasetStreams& dataset : datasets) {
       std::printf("  %-12s", dataset.name.c_str());
-      for (const liberty::Corner& corner : scale.corners) {
-        const dta::DtaTrace trace =
-            context.characterize(corner, dataset.test);
-        std::printf(" %10.1f", trace.meanDelayPs());
+      for (std::size_t c = 0; c < scale.corners.size(); ++c) {
+        std::printf(" %10.1f", traces[at++].meanDelayPs());
       }
       std::printf("\n");
     }
 
     // ITD check at the extremes (averaged over the random dataset).
-    const double cold_low =
-        context.characterize({0.81, 0.0}, datasets[0].test).meanDelayPs();
-    const double hot_low =
-        context.characterize({0.81, 100.0}, datasets[0].test).meanDelayPs();
-    const double cold_high =
-        context.characterize({1.00, 0.0}, datasets[0].test).meanDelayPs();
-    const double hot_high =
-        context.characterize({1.00, 100.0}, datasets[0].test).meanDelayPs();
+    const double cold_low = traces[at++].meanDelayPs();
+    const double hot_low = traces[at++].meanDelayPs();
+    const double cold_high = traces[at++].meanDelayPs();
+    const double hot_high = traces[at++].meanDelayPs();
     std::printf(
         "  ITD: at 0.81V hotter is %s (%.1f -> %.1f), at 1.00V hotter is "
         "%s (%.1f -> %.1f)\n\n",
         hot_low < cold_low ? "FASTER" : "slower", cold_low, hot_low,
         hot_high > cold_high ? "SLOWER" : "faster", cold_high, hot_high);
   }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  writeBenchJson("fig3_delay_variation", pool.threadCount(), wall);
   return 0;
 }

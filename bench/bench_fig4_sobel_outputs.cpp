@@ -8,6 +8,7 @@
 // Expected shape: TEVoT's PSNR lands close to ground truth (both
 // sides of the 30 dB threshold agree); TER-based and TEVoT-NH land
 // far away on workloads whose statistics deviate from training.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -25,8 +26,10 @@ constexpr circuits::FuKind kInjectedFus[] = {circuits::FuKind::kIntAdd,
 
 }  // namespace
 
-int main() {
-  const BenchScale scale = BenchScale::fromEnvironment();
+int main(int argc, char** argv) {
+  const BenchScale scale = BenchScale::fromEnvironment(argc, argv);
+  util::ThreadPool pool(scale.jobs);
+  const auto bench_start = std::chrono::steady_clock::now();
   util::Rng rng(0xf164);
 
   apps::SynthImageParams image_params;
@@ -60,9 +63,14 @@ int main() {
     // "error-free" clock already errs on the eval image.
     const auto app_wl = dta::resizeWorkload(
         app_streams[kind], 4 * scale.app_train_cycles);
+    std::vector<dta::CharacterizeJob> jobs;
     for (const liberty::Corner& corner : scale.corners) {
-      per_fu.app_trace.emplace(core::cornerKey(corner),
-                               per_fu.context->characterize(corner, app_wl));
+      jobs.push_back(per_fu.context->characterizeJob(corner, app_wl));
+    }
+    std::vector<dta::DtaTrace> traces = dta::characterizeAll(jobs, pool);
+    for (std::size_t c = 0; c < scale.corners.size(); ++c) {
+      per_fu.app_trace.emplace(core::cornerKey(scale.corners[c]),
+                               std::move(traces[c]));
     }
     fus.emplace(kind, std::move(per_fu));
   }
@@ -110,7 +118,8 @@ int main() {
     train_traces.push_back(per_fu.app_trace.at(core::cornerKey(corner)));
     per_fu.tclk =
         dta::speedupClockPs(train_traces.back().baseClockPs(), speedup);
-    per_fu.suite = core::trainModelSuite(train_traces, rng);
+    per_fu.suite =
+        core::trainModelSuite(train_traces, rng, ml::ForestParams{}, &pool);
     per_fu.models = per_fu.suite.errorModels();
   }
 
@@ -179,5 +188,11 @@ int main() {
       "unacceptable); TEVoT-NH 56 dB, TER-based 48 dB (wrongly "
       "acceptable). Ground truth here: %.1f dB.\n",
       gt_psnr);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  writeBenchJson("fig4_sobel_outputs", pool.threadCount(), wall,
+                 {{"ground_truth_psnr_db", gt_psnr}});
   return 0;
 }

@@ -31,14 +31,16 @@ struct FuResult {
   std::vector<std::string> dataset_names;
 };
 
-FuResult runFu(circuits::FuKind kind, const BenchScale& scale) {
+FuResult runFu(circuits::FuKind kind, const BenchScale& scale,
+               util::ThreadPool& pool) {
   util::Rng rng(0x7ab1e3 + static_cast<unsigned>(kind));
   core::FuContext context(kind);
 
   const auto datasets = buildDatasets(kind, scale, rng);
-  auto traces = characterizeAll(context, datasets, scale);
+  auto traces = characterizeAll(context, datasets, scale, pool);
   const auto pooled = pooledTrainingTraces(traces);
-  const core::ModelSuite suite = core::trainModelSuite(pooled, rng);
+  const core::ModelSuite suite =
+      core::trainModelSuite(pooled, rng, ml::ForestParams{}, &pool);
   auto models = suite.errorModels();
 
   FuResult result;
@@ -61,16 +63,18 @@ FuResult runFu(circuits::FuKind kind, const BenchScale& scale) {
 
 }  // namespace
 
-int main() {
-  const BenchScale scale = BenchScale::fromEnvironment();
+int main(int argc, char** argv) {
+  const BenchScale scale = BenchScale::fromEnvironment(argc, argv);
+  util::ThreadPool pool(scale.jobs);
+  const auto bench_start = std::chrono::steady_clock::now();
   std::printf(
       "=== Table III: average timing-error prediction accuracy ===\n");
   std::printf(
       "conditions=%zu, clock speedups = 5%%/10%%/15%%, "
-      "train=%zu random + %zu app cycles/corner, test=%zu/%zu\n\n",
+      "train=%zu random + %zu app cycles/corner, test=%zu/%zu, jobs=%zu\n\n",
       scale.corners.size(), scale.train_cycles_per_corner,
       scale.app_train_cycles, scale.test_cycles_per_corner,
-      scale.app_test_cycles);
+      scale.app_test_cycles, pool.threadCount());
 
   const char* model_names[4] = {"TEVoT", "Delay-based", "TER-based",
                                 "TEVoT-NH"};
@@ -79,7 +83,7 @@ int main() {
 
   for (const circuits::FuKind kind : circuits::kAllFus) {
     const auto start = std::chrono::steady_clock::now();
-    const FuResult result = runFu(kind, scale);
+    const FuResult result = runFu(kind, scale, pool);
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -108,5 +112,13 @@ int main() {
                               10)
                     .c_str());
   }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  writeBenchJson(
+      "table3_prediction_accuracy", pool.threadCount(), wall,
+      {{"tevot_accuracy", totals[0] / static_cast<double>(cells)},
+       {"conditions", static_cast<double>(scale.corners.size())}});
   return 0;
 }

@@ -8,23 +8,22 @@
 namespace tevot::dta {
 
 std::uint64_t DtaSample::latchedWord(double tclk_ps) const {
-  std::uint64_t word = start_word;
-  for (const sim::ToggleEvent& toggle : toggles) {
-    if (toggle.time_ps > tclk_ps) break;
-    const std::uint64_t mask = 1ULL << toggle.output_bit;
-    if (toggle.value) {
-      word |= mask;
-    } else {
-      word &= ~mask;
-    }
-  }
-  return word;
+  return sim::latchWord(start_word, toggles, tclk_ps);
 }
 
 bool DtaSample::timingError(double tclk_ps) const {
-  if (!toggles.empty() || delay_ps == 0.0) {
+  // With toggle data the exact latched word decides: late toggles
+  // that happen to restore a bit's correct value are not errors.
+  if (!toggles.empty()) {
     return latchedWord(tclk_ps) != settled_word;
   }
+  // No toggle data from here on. D[t] == 0 means no output toggled
+  // this cycle, so any latch captures the settled word — never an
+  // error (and never a latched-word comparison on missing toggles).
+  if (delay_ps == 0.0) return false;
+  // keep_toggles=false fallback: the conservative delay criterion.
+  // It may overcount, flagging cycles whose late toggles would have
+  // latched correct values anyway.
   return delay_ps > tclk_ps;
 }
 
@@ -100,6 +99,26 @@ DtaTrace characterize(const netlist::Netlist& nl,
   }
   trace.sim_events = simulator.totalEvents();
   return trace;
+}
+
+std::vector<DtaTrace> characterizeAll(std::span<const CharacterizeJob> jobs,
+                                      util::ThreadPool& pool) {
+  for (const CharacterizeJob& job : jobs) {
+    if (job.netlist == nullptr || !job.delays || job.workload == nullptr) {
+      throw std::invalid_argument(
+          "dta::characterizeAll: job missing netlist, delays or workload");
+    }
+  }
+  std::vector<DtaTrace> traces(jobs.size());
+  pool.parallelFor(jobs.size(), [&](std::size_t i) {
+    const CharacterizeJob& job = jobs[i];
+    // Each invocation builds its own TimingSimulator inside
+    // characterize(), so jobs share nothing but the read-only netlist
+    // and the (thread-safe) delay resolution.
+    traces[i] =
+        characterize(*job.netlist, job.delays(), *job.workload, job.options);
+  });
+  return traces;
 }
 
 double speedupClockPs(double base_clock_ps, double speedup_fraction) {

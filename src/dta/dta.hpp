@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "netlist/netlist.hpp"
 #include "sim/timing_sim.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tevot::dta {
 
@@ -34,12 +36,15 @@ struct DtaSample {
   /// Time-ordered output toggles (kept when DtaOptions::keep_toggles).
   std::vector<sim::ToggleEvent> toggles;
 
-  /// Output word latched at clock period `tclk_ps` (requires toggles).
+  /// Output word latched at clock period `tclk_ps` (requires toggles;
+  /// outputs >= sim::kOutputWordBits have no word slot and are
+  /// ignored — see sim::latchWord).
   std::uint64_t latchedWord(double tclk_ps) const;
 
   /// True when latching at `tclk_ps` captures a wrong word. With
-  /// toggles this is the exact stale-value check; without, it falls
-  /// back to the delay criterion D[t] > tclk.
+  /// toggle data this is the exact stale-value check. Without toggle
+  /// data, a quiet cycle (D[t] == 0) is never an error, and otherwise
+  /// the conservative delay criterion D[t] > tclk decides.
   bool timingError(double tclk_ps) const;
 };
 
@@ -76,6 +81,25 @@ DtaTrace characterize(const netlist::Netlist& nl,
                       const liberty::CornerDelays& delays,
                       const Workload& workload,
                       const DtaOptions& options = {});
+
+/// One cell of a characterization grid: a netlist, a way to resolve
+/// its corner delays, and the workload to run. Pointers must outlive
+/// the characterizeAll() call.
+struct CharacterizeJob {
+  const netlist::Netlist* netlist = nullptr;
+  /// Resolves this job's corner delays. Invoked on the worker thread,
+  /// so it must be safe to call concurrently with the other jobs'
+  /// resolvers (core::FuContext::delaysAt is).
+  std::function<const liberty::CornerDelays&()> delays;
+  const Workload* workload = nullptr;
+  DtaOptions options;
+};
+
+/// Runs every job on `pool`, each with its own TimingSimulator, and
+/// returns the traces in input order. The result is bit-identical for
+/// any thread count: job i's trace depends only on job i.
+std::vector<DtaTrace> characterizeAll(std::span<const CharacterizeJob> jobs,
+                                      util::ThreadPool& pool);
 
 /// Clock period for a given speedup over a base period: speeding the
 /// clock up by fraction `s` divides the period by (1 + s).

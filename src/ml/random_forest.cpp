@@ -7,21 +7,35 @@ namespace {
 
 std::vector<DecisionTree> fitForest(const Dataset& data, TreeTask task,
                                     const ForestParams& params,
-                                    util::Rng& rng) {
+                                    util::Rng& rng, util::ThreadPool* pool) {
   if (params.n_trees <= 0) {
     throw std::invalid_argument("fitForest: n_trees must be positive");
   }
-  std::vector<DecisionTree> trees(static_cast<std::size_t>(params.n_trees));
-  std::vector<std::size_t> sample(data.size());
-  for (DecisionTree& tree : trees) {
+  const auto n_trees = static_cast<std::size_t>(params.n_trees);
+  // Split the caller's stream into one seed per tree up front. Each
+  // tree then draws only from its own generator, so the fitted forest
+  // is bit-identical whether the trees are grown serially or on a
+  // pool of any size.
+  std::vector<std::uint64_t> seeds(n_trees);
+  for (std::uint64_t& seed : seeds) seed = rng.next();
+
+  std::vector<DecisionTree> trees(n_trees);
+  const auto fit_one = [&](std::size_t t) {
+    util::Rng tree_rng(seeds[t]);
     if (params.bootstrap) {
+      std::vector<std::size_t> sample(data.size());
       for (std::size_t i = 0; i < sample.size(); ++i) {
-        sample[i] = rng.nextBelow(data.size());
+        sample[i] = tree_rng.nextBelow(data.size());
       }
-      tree.fit(data, task, params.tree, rng, sample);
+      trees[t].fit(data, task, params.tree, tree_rng, sample);
     } else {
-      tree.fit(data, task, params.tree, rng);
+      trees[t].fit(data, task, params.tree, tree_rng);
     }
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(n_trees, fit_one);
+  } else {
+    for (std::size_t t = 0; t < n_trees; ++t) fit_one(t);
   }
   return trees;
 }
@@ -29,9 +43,9 @@ std::vector<DecisionTree> fitForest(const Dataset& data, TreeTask task,
 }  // namespace
 
 void RandomForestClassifier::fit(const Dataset& data,
-                                 const ForestParams& params,
-                                 util::Rng& rng) {
-  trees_ = fitForest(data, TreeTask::kClassification, params, rng);
+                                 const ForestParams& params, util::Rng& rng,
+                                 util::ThreadPool* pool) {
+  trees_ = fitForest(data, TreeTask::kClassification, params, rng, pool);
 }
 
 double RandomForestClassifier::predictProbability(
@@ -59,8 +73,9 @@ std::vector<float> RandomForestClassifier::predictBatch(
 }
 
 void RandomForestRegressor::fit(const Dataset& data,
-                                const ForestParams& params, util::Rng& rng) {
-  trees_ = fitForest(data, TreeTask::kRegression, params, rng);
+                                const ForestParams& params, util::Rng& rng,
+                                util::ThreadPool* pool) {
+  trees_ = fitForest(data, TreeTask::kRegression, params, rng, pool);
 }
 
 float RandomForestRegressor::predict(std::span<const float> features) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ml/decision_tree.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tevot::ml {
 
@@ -20,7 +21,11 @@ struct ForestParams {
 
 class RandomForestClassifier {
  public:
-  void fit(const Dataset& data, const ForestParams& params, util::Rng& rng);
+  /// Fits the ensemble. `rng` is split into one deterministic seed
+  /// per tree before any fitting starts, so the result is
+  /// bit-identical with or without a `pool` (of any size).
+  void fit(const Dataset& data, const ForestParams& params, util::Rng& rng,
+           util::ThreadPool* pool = nullptr);
 
   /// Majority-vote class (binary 0/1).
   float predict(std::span<const float> features) const;
@@ -40,7 +45,10 @@ class RandomForestClassifier {
 
 class RandomForestRegressor {
  public:
-  void fit(const Dataset& data, const ForestParams& params, util::Rng& rng);
+  /// Fits the ensemble; see RandomForestClassifier::fit for the
+  /// seed-splitting determinism guarantee.
+  void fit(const Dataset& data, const ForestParams& params, util::Rng& rng,
+           util::ThreadPool* pool = nullptr);
 
   /// Mean of per-tree predictions.
   float predict(std::span<const float> features) const;

@@ -10,10 +10,13 @@ using netlist::GateId;
 using netlist::kNoGate;
 using netlist::NetId;
 
-std::uint64_t CycleRecord::latchedWord(double tclk_ps) const {
+std::uint64_t latchWord(std::uint64_t start_word,
+                        std::span<const ToggleEvent> toggles,
+                        double tclk_ps) {
   std::uint64_t word = start_word;
-  for (const ToggleEvent& toggle : output_toggles) {
+  for (const ToggleEvent& toggle : toggles) {
     if (toggle.time_ps > tclk_ps) break;
+    if (toggle.output_bit >= kOutputWordBits) continue;  // no word slot
     const std::uint64_t mask = 1ULL << toggle.output_bit;
     if (toggle.value) {
       word |= mask;
@@ -22,6 +25,10 @@ std::uint64_t CycleRecord::latchedWord(double tclk_ps) const {
     }
   }
   return word;
+}
+
+std::uint64_t CycleRecord::latchedWord(double tclk_ps) const {
+  return latchWord(start_word, output_toggles, tclk_ps);
 }
 
 TimingSimulator::TimingSimulator(const netlist::Netlist& nl,
@@ -107,7 +114,9 @@ CycleRecord TimingSimulator::step(std::span<const std::uint8_t> inputs) {
 
   CycleRecord record;
   const auto outputs = nl_.outputs();
-  for (std::uint32_t i = 0; i < outputs.size() && i < 64; ++i) {
+  // Words intentionally hold only the first kOutputWordBits outputs;
+  // see the comment on kOutputWordBits.
+  for (std::uint32_t i = 0; i < outputs.size() && i < kOutputWordBits; ++i) {
     if (net_values_[outputs[i]]) record.start_word |= (1ULL << i);
   }
 
@@ -146,7 +155,7 @@ CycleRecord TimingSimulator::step(std::span<const std::uint8_t> inputs) {
     scheduleFanout(event.net, event.time_ps);
   }
 
-  for (std::uint32_t i = 0; i < outputs.size() && i < 64; ++i) {
+  for (std::uint32_t i = 0; i < outputs.size() && i < kOutputWordBits; ++i) {
     if (net_values_[outputs[i]]) record.settled_word |= (1ULL << i);
   }
   ++cycle_count_;

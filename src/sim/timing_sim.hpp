@@ -35,6 +35,21 @@ struct ToggleEvent {
   bool value;
 };
 
+/// Output words (start/settled/latched) hold at most the first 64
+/// primary outputs. Wider FUs (e.g. a 32x32 product plus flags) still
+/// record every toggle, but bits >= kOutputWordBits have no slot in
+/// the 64-bit words and are excluded from word-level comparisons.
+inline constexpr std::uint32_t kOutputWordBits = 64;
+
+/// Applies every toggle with time <= tclk_ps to `start_word` and
+/// returns the resulting word — what a register bank clocked with
+/// period tclk_ps would capture. Toggles of output bits >=
+/// kOutputWordBits are ignored (see above); without the guard the
+/// shift would be undefined behavior.
+std::uint64_t latchWord(std::uint64_t start_word,
+                        std::span<const ToggleEvent> toggles,
+                        double tclk_ps);
+
 /// Result of simulating one cycle (one input vector application).
 struct CycleRecord {
   /// Time of the last primary-output toggle [ps]; 0 when no output

@@ -36,12 +36,12 @@ ml::Dataset buildErrorDataset(
 }
 
 void TevotModel::train(std::span<const dta::DtaTrace> traces,
-                       util::Rng& rng) {
+                       util::Rng& rng, util::ThreadPool* pool) {
   const ml::Dataset data = buildDelayDataset(traces, encoder_);
   if (data.size() == 0) {
     throw std::invalid_argument("TevotModel::train: no training samples");
   }
-  forest_.fit(data, config_.forest, rng);
+  forest_.fit(data, config_.forest, rng, pool);
 }
 
 double TevotModel::predictDelay(std::uint32_t a, std::uint32_t b,

@@ -43,8 +43,11 @@ class TevotModel {
       : config_(config), encoder_(config.include_history) {}
 
   /// Trains the delay regressor on characterized traces (any mix of
-  /// corners and workloads).
-  void train(std::span<const dta::DtaTrace> traces, util::Rng& rng);
+  /// corners and workloads). A pool parallelizes per-tree fitting;
+  /// the model is bit-identical for any thread count (the forest
+  /// splits `rng` into per-tree seeds up front).
+  void train(std::span<const dta::DtaTrace> traces, util::Rng& rng,
+             util::ThreadPool* pool = nullptr);
 
   /// Predicted dynamic delay [ps] for one input transition at a
   /// corner.

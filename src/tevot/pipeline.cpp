@@ -12,6 +12,15 @@ FuContext::FuContext(circuits::FuKind kind, liberty::CellLibrary library,
 const liberty::CornerDelays& FuContext::delaysAt(
     const liberty::Corner& corner) {
   const auto key = cornerKey(corner);
+  {
+    std::shared_lock lock(delay_mutex_);
+    const auto it = delay_cache_.find(key);
+    if (it != delay_cache_.end()) return it->second;
+  }
+  // Annotate under the exclusive lock: losers of the race re-find the
+  // entry instead of duplicating the annotation, and corner delays
+  // stay deterministic (first writer wins, all writers would agree).
+  std::unique_lock lock(delay_mutex_);
   const auto it = delay_cache_.find(key);
   if (it != delay_cache_.end()) return it->second;
   return delay_cache_
@@ -30,6 +39,19 @@ dta::DtaTrace FuContext::characterize(const liberty::Corner& corner,
   return dta::characterize(netlist_, delaysAt(corner), workload, options);
 }
 
+dta::CharacterizeJob FuContext::characterizeJob(
+    const liberty::Corner& corner, const dta::Workload& workload,
+    const dta::DtaOptions& options) {
+  dta::CharacterizeJob job;
+  job.netlist = &netlist_;
+  job.delays = [this, corner]() -> const liberty::CornerDelays& {
+    return delaysAt(corner);
+  };
+  job.workload = &workload;
+  job.options = options;
+  return job;
+}
+
 std::vector<std::unique_ptr<ErrorModel>> ModelSuite::errorModels() const {
   std::vector<std::unique_ptr<ErrorModel>> models;
   models.push_back(std::make_unique<TevotErrorModel>(tevot));
@@ -42,19 +64,20 @@ std::vector<std::unique_ptr<ErrorModel>> ModelSuite::errorModels() const {
 
 ModelSuite trainModelSuite(std::span<const dta::DtaTrace> traces,
                            util::Rng& rng,
-                           const ml::ForestParams& forest_params) {
+                           const ml::ForestParams& forest_params,
+                           util::ThreadPool* pool) {
   ModelSuite suite;
   TevotConfig with_history;
   with_history.include_history = true;
   with_history.forest = forest_params;
   suite.tevot = TevotModel(with_history);
-  suite.tevot.train(traces, rng);
+  suite.tevot.train(traces, rng, pool);
 
   TevotConfig no_history;
   no_history.include_history = false;
   no_history.forest = forest_params;
   suite.tevot_nh = TevotModel(no_history);
-  suite.tevot_nh.train(traces, rng);
+  suite.tevot_nh.train(traces, rng, pool);
 
   suite.delay_based.calibrate(traces);
   suite.ter_based.calibrate(traces);

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 
 #include "circuits/fu.hpp"
 #include "dta/dta.hpp"
@@ -33,6 +34,9 @@ class FuContext {
   const liberty::VtModel& vtModel() const { return vt_model_; }
 
   /// Per-corner annotated delays (memoized; the in-memory SDF).
+  /// Thread-safe: concurrent callers for any mix of corners may race
+  /// on a cold cache, and each gets a stable reference (std::map
+  /// nodes never move).
   const liberty::CornerDelays& delaysAt(const liberty::Corner& corner);
 
   /// STA critical-path delay at a corner [ps].
@@ -43,11 +47,20 @@ class FuContext {
                              const dta::Workload& workload,
                              const dta::DtaOptions& options = {});
 
+  /// Job for dta::characterizeAll resolving delays through this
+  /// context's corner cache on the worker thread. `workload` (and
+  /// this context) must outlive the characterizeAll call.
+  dta::CharacterizeJob characterizeJob(const liberty::Corner& corner,
+                                       const dta::Workload& workload,
+                                       const dta::DtaOptions& options = {});
+
  private:
   circuits::FuKind kind_;
   netlist::Netlist netlist_;
   liberty::CellLibrary library_;
   liberty::VtModel vt_model_;
+  /// Guards delay_cache_ (shared: lookup, exclusive: annotate+insert).
+  std::shared_mutex delay_mutex_;
   std::map<std::pair<int, int>, liberty::CornerDelays> delay_cache_;
 };
 
@@ -63,9 +76,12 @@ struct ModelSuite {
   std::vector<std::unique_ptr<ErrorModel>> errorModels() const;
 };
 
-/// Trains all four models from the same training traces.
+/// Trains all four models from the same training traces. A pool
+/// parallelizes the forests' per-tree fitting; results are
+/// bit-identical for any thread count.
 ModelSuite trainModelSuite(std::span<const dta::DtaTrace> traces,
                            util::Rng& rng,
-                           const ml::ForestParams& forest_params = {});
+                           const ml::ForestParams& forest_params = {},
+                           util::ThreadPool* pool = nullptr);
 
 }  // namespace tevot::core

@@ -51,12 +51,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
   const double span = hi_ - lo_;
-  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(
-      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  auto bin = static_cast<std::size_t>((x - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  // Floating-point rounding at the upper edge can land one past the
+  // last bin even though x < hi_.
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
   ++total_;
 }
 

@@ -33,8 +33,10 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Fixed-bin histogram over [lo, hi); samples outside clamp to the
-/// first/last bin. Used for delay-distribution reporting.
+/// Fixed-bin histogram over [lo, hi). Samples outside the range are
+/// counted as underflow/overflow instead of being clamped into the
+/// boundary bins, so the tail bins stay faithful to the data. Used
+/// for delay-distribution reporting.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -42,11 +44,18 @@ class Histogram {
   void add(double x);
   std::size_t binCount(std::size_t bin) const { return counts_.at(bin); }
   std::size_t bins() const { return counts_.size(); }
+  /// In-range samples only (the sum of all bin counts).
   std::size_t total() const { return total_; }
+  /// Samples below lo / at-or-above hi, excluded from every bin.
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  /// Every add() ever made, in range or not.
+  std::size_t sampleCount() const { return total_ + underflow_ + overflow_; }
   double binLow(std::size_t bin) const;
   double binHigh(std::size_t bin) const;
 
-  /// Approximate quantile (q in [0,1]) from bin midpoints.
+  /// Approximate quantile (q in [0,1]) from bin midpoints, over the
+  /// in-range samples.
   double quantile(double q) const;
 
  private:
@@ -54,6 +63,8 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace tevot::util

@@ -1,0 +1,134 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace tevot::util {
+
+std::size_t ThreadPool::hardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardwareThreads();
+  if (threads > 1) {
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop requested and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::runOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Shared loop state. Helpers claim indices from `next` until the
+  // range is exhausted; `running` counts helper tasks that have not
+  // yet finished (including ones still sitting in the queue).
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::size_t limit = 0;
+    std::mutex done_mutex;
+    std::condition_variable done;
+    std::size_t running = 0;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->limit = count;
+
+  const auto drain = [&body, batch] {
+    for (;;) {
+      const std::size_t i =
+          batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->limit) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(batch->done_mutex);
+        if (!batch->error) batch->error = std::current_exception();
+        // Poison the counter so no further index is claimed.
+        batch->next.store(batch->limit, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  {
+    std::lock_guard lock(mutex_);
+    batch->running = helpers;
+    for (std::size_t h = 0; h < helpers; ++h) {
+      // `drain` is copied into each task; `body` stays alive because
+      // parallelFor does not return before every helper finished.
+      tasks_.push_back([batch, drain] {
+        drain();
+        {
+          std::lock_guard done_lock(batch->done_mutex);
+          --batch->running;
+        }
+        batch->done.notify_all();
+      });
+    }
+  }
+  wake_.notify_all();
+
+  drain();  // the caller participates
+
+  // Wait for the helpers, lending a hand to the task queue so nested
+  // or concurrent loops cannot deadlock on a saturated pool.
+  for (;;) {
+    {
+      std::unique_lock done_lock(batch->done_mutex);
+      if (batch->running == 0) break;
+    }
+    if (runOneTask()) continue;
+    std::unique_lock done_lock(batch->done_mutex);
+    batch->done.wait_for(done_lock, std::chrono::milliseconds(1),
+                         [&] { return batch->running == 0; });
+    if (batch->running == 0) break;
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace tevot::util

@@ -1,0 +1,60 @@
+// Fixed-size worker pool for chunked parallel-for loops.
+//
+// The characterization grid (FU x corner x workload) and per-tree
+// forest training are embarrassingly parallel with coarse work items,
+// so the pool keeps scheduling simple: parallelFor() publishes a
+// shared atomic index counter and every participating thread —
+// including the caller — claims the next unclaimed index until the
+// range is drained (a coarse form of work stealing that balances
+// uneven item costs). Results are written by index, so output order
+// is deterministic and independent of the thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tevot::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread;
+  /// 0 selects hardwareThreads(). A pool of 1 spawns no workers and
+  /// runs every loop inline on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers plus the calling thread).
+  std::size_t threadCount() const { return workers_.size() + 1; }
+
+  /// Invokes body(i) exactly once for every i in [0, count) across the
+  /// pool and the calling thread, blocking until all calls complete.
+  /// The first exception thrown by any body is rethrown on the caller
+  /// after the loop drains (remaining unclaimed indices are skipped).
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static std::size_t hardwareThreads();
+
+ private:
+  void workerLoop();
+  /// Pops and runs one queued task if any is pending; returns whether
+  /// a task ran. Lets a thread waiting on one loop help drain others.
+  bool runOneTask();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace tevot::util

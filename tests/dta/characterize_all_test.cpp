@@ -1,0 +1,120 @@
+// Parallel characterization tests: dta::characterizeAll must return
+// bit-identical traces for any thread count (input-order results,
+// per-job simulators), FuContext::delaysAt must be safe under
+// concurrent first-touch from many workers, and job validation must
+// reject incomplete jobs.
+#include "dta/dta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "circuits/fu.hpp"
+#include "tevot/pipeline.hpp"
+
+namespace tevot::dta {
+namespace {
+
+bool tracesIdentical(const DtaTrace& a, const DtaTrace& b) {
+  if (a.samples.size() != b.samples.size()) return false;
+  if (a.workload_name != b.workload_name) return false;
+  if (a.sim_events != b.sim_events) return false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const DtaSample& x = a.samples[i];
+    const DtaSample& y = b.samples[i];
+    if (x.a != y.a || x.b != y.b || x.prev_a != y.prev_a ||
+        x.prev_b != y.prev_b) {
+      return false;
+    }
+    if (x.delay_ps != y.delay_ps) return false;  // bit-exact
+    if (x.start_word != y.start_word) return false;
+    if (x.settled_word != y.settled_word) return false;
+    if (x.toggles.size() != y.toggles.size()) return false;
+    for (std::size_t t = 0; t < x.toggles.size(); ++t) {
+      if (x.toggles[t].time_ps != y.toggles[t].time_ps ||
+          x.toggles[t].output_bit != y.toggles[t].output_bit ||
+          x.toggles[t].value != y.toggles[t].value) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(CharacterizeAllTest, BitIdenticalAcrossThreadCounts) {
+  core::FuContext context(circuits::FuKind::kIntAdd);
+  util::Rng rng(91);
+  const liberty::Corner corners[] = {
+      {0.81, 0.0}, {0.90, 50.0}, {1.00, 100.0}};
+  std::vector<Workload> workloads;
+  for (int i = 0; i < 2; ++i) {
+    workloads.push_back(
+        randomWorkloadFor(circuits::FuKind::kIntAdd, 60, rng));
+  }
+  std::vector<CharacterizeJob> jobs;
+  for (const Workload& workload : workloads) {
+    for (const liberty::Corner& corner : corners) {
+      jobs.push_back(context.characterizeJob(corner, workload));
+    }
+  }
+
+  util::ThreadPool serial(1);
+  const std::vector<DtaTrace> reference = characterizeAll(jobs, serial);
+  ASSERT_EQ(reference.size(), jobs.size());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{5}}) {
+    util::ThreadPool pool(threads);
+    const std::vector<DtaTrace> parallel = characterizeAll(jobs, pool);
+    ASSERT_EQ(parallel.size(), reference.size());
+    for (std::size_t j = 0; j < reference.size(); ++j) {
+      EXPECT_TRUE(tracesIdentical(reference[j], parallel[j]))
+          << "job " << j << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(CharacterizeAllTest, RejectsIncompleteJobs) {
+  util::ThreadPool pool(1);
+  std::vector<CharacterizeJob> jobs(1);  // all members null
+  EXPECT_THROW(characterizeAll(jobs, pool), std::invalid_argument);
+}
+
+TEST(CharacterizeAllTest, ConcurrentDelaysAtFirstTouchIsSafe) {
+  // Many threads racing on the first delaysAt() of the same corners:
+  // every caller must observe one consistent annotation per corner.
+  core::FuContext context(circuits::FuKind::kIntMul);
+  const liberty::Corner corners[] = {
+      {0.81, 0.0}, {0.85, 25.0}, {0.90, 50.0}, {1.00, 100.0}};
+  std::atomic<bool> mismatch{false};
+  std::vector<const liberty::CornerDelays*> first(4, nullptr);
+  std::mutex first_mutex;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 4; ++round) {
+        for (std::size_t c = 0; c < 4; ++c) {
+          const liberty::CornerDelays& delays = context.delaysAt(corners[c]);
+          std::lock_guard<std::mutex> lock(first_mutex);
+          if (first[c] == nullptr) {
+            first[c] = &delays;
+          } else if (first[c] != &delays) {
+            // std::map guarantees node stability: every caller must
+            // get the same cached object back.
+            mismatch = true;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  for (std::size_t c = 0; c < 4; ++c) {
+    ASSERT_NE(first[c], nullptr);
+    EXPECT_EQ(first[c]->gateCount(), context.netlist().gateCount());
+  }
+}
+
+}  // namespace
+}  // namespace tevot::dta

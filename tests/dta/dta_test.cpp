@@ -100,6 +100,45 @@ TEST(DtaTest, LatchedErrorImpliesDelayExceeded) {
   EXPECT_LE(latched_errors, delay_exceeded);
 }
 
+TEST(DtaSampleTest, QuietCycleIsNeverAnError) {
+  // Regression: a quiet cycle (no output toggles because the inputs
+  // produced the same result, D[t] == 0) must not be classified as an
+  // error, with or without toggle data — the old toggle-free path
+  // latched start_word and compared it against a settled_word it could
+  // not equal.
+  DtaSample sample;
+  sample.delay_ps = 0.0;
+  sample.start_word = 7;
+  sample.settled_word = 7;
+  sample.toggles.clear();  // keep_toggles=false or genuinely quiet
+  EXPECT_FALSE(sample.timingError(0.001));
+  EXPECT_FALSE(sample.timingError(1000.0));
+}
+
+TEST(DtaSampleTest, ToggleFreeSampleUsesDelayCriterion) {
+  DtaSample sample;
+  sample.delay_ps = 120.0;
+  sample.start_word = 1;
+  sample.settled_word = 2;
+  EXPECT_TRUE(sample.timingError(100.0));    // D[t] > tclk
+  EXPECT_FALSE(sample.timingError(120.0));   // D[t] == tclk: captured
+  EXPECT_FALSE(sample.timingError(150.0));
+}
+
+TEST(DtaSampleTest, WithTogglesUsesExactLatchedWord) {
+  // A late toggle that recreates the correct bit value: the delay
+  // criterion says "error", the exact latched-word check says the
+  // register still captured the right word.
+  DtaSample sample;
+  sample.delay_ps = 200.0;
+  sample.start_word = 1;
+  sample.settled_word = 1;
+  sample.toggles = {{100.0, 0, false}, {200.0, 0, true}};
+  EXPECT_TRUE(sample.timingError(150.0));   // latches the 0 glitch
+  EXPECT_FALSE(sample.timingError(250.0));  // settles back to 1
+  EXPECT_FALSE(sample.timingError(50.0));   // latches stale-but-equal 1
+}
+
 TEST(DtaTest, WithoutTogglesFallsBackToDelayCriterion) {
   DtaOptions options;
   options.keep_toggles = false;

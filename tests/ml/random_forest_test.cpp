@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "ml/metrics.hpp"
+#include "ml/serialize.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tevot::ml {
 namespace {
@@ -72,6 +75,57 @@ TEST(RandomForestTest, DeterministicPerSeed) {
     EXPECT_EQ(a.predictProbability(train.x.row(r)),
               b.predictProbability(train.x.row(r)));
   }
+}
+
+TEST(RandomForestTest, ParallelFitIsBitIdenticalToSerial) {
+  // Seed-splitting guarantee: the forest must serialize to the exact
+  // same bytes whether fitted serially or on a pool of any size.
+  const Dataset train = noisyTask(400, 6);
+  ForestParams params;
+  params.n_trees = 12;
+
+  RandomForestClassifier serial;
+  util::Rng serial_rng(29);
+  serial.fit(train, params, serial_rng);
+  std::ostringstream serial_text;
+  saveForest(serial_text, serial);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    util::ThreadPool pool(threads);
+    RandomForestClassifier parallel;
+    util::Rng parallel_rng(29);
+    parallel.fit(train, params, parallel_rng, &pool);
+    std::ostringstream parallel_text;
+    saveForest(parallel_text, parallel);
+    EXPECT_EQ(parallel_text.str(), serial_text.str())
+        << "with " << threads << " threads";
+  }
+
+  // The caller's rng must end in the same state either way (it is
+  // consumed only for the up-front per-tree seed draw).
+  util::Rng replay(29);
+  for (int t = 0; t < params.n_trees; ++t) replay.next();
+  EXPECT_EQ(serial_rng.next(), replay.next());
+}
+
+TEST(RandomForestTest, RegressorParallelFitIsBitIdentical) {
+  Dataset data;
+  util::Rng rng(31);
+  for (int i = 0; i < 300; ++i) {
+    const float v = static_cast<float>(rng.nextDouble(0.0, 1.0));
+    const float row[1] = {v};
+    data.append({row, 1}, 2.0f * v);
+  }
+  RandomForestRegressor serial, parallel;
+  util::Rng rng_a(33), rng_b(33);
+  serial.fit(data, ForestParams{}, rng_a);
+  util::ThreadPool pool(6);
+  parallel.fit(data, ForestParams{}, rng_b, &pool);
+  std::ostringstream a, b;
+  saveForest(a, serial);
+  saveForest(b, parallel);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(RandomForestTest, ProbabilityIsVoteFraction) {

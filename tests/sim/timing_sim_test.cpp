@@ -152,6 +152,30 @@ TEST(TimingSimTest, LatchedWordReconstruction) {
   EXPECT_FALSE(record.timingError(150.0));
 }
 
+TEST(LatchWordTest, AppliesTogglesUpToClockPeriod) {
+  const ToggleEvent toggles[] = {
+      {10.0, 0, false},  // bit 0 falls at 10 ps
+      {50.0, 1, true},   // bit 1 rises at 50 ps
+      {90.0, 0, true},   // bit 0 rises again at 90 ps
+  };
+  EXPECT_EQ(latchWord(0b01u, toggles, 5.0), 0b01u);
+  EXPECT_EQ(latchWord(0b01u, toggles, 10.0), 0b00u);  // edge inclusive
+  EXPECT_EQ(latchWord(0b01u, toggles, 60.0), 0b10u);
+  EXPECT_EQ(latchWord(0b01u, toggles, 100.0), 0b11u);
+}
+
+TEST(LatchWordTest, IgnoresOutputBitsBeyondWordWidth) {
+  // Toggles on bits >= kOutputWordBits (from FUs with more than 64
+  // primary outputs) must be skipped, not shifted into UB.
+  const ToggleEvent toggles[] = {
+      {10.0, kOutputWordBits, true},       // no word slot
+      {20.0, kOutputWordBits + 13, true},  // no word slot
+      {30.0, 63, true},                    // highest representable bit
+  };
+  EXPECT_EQ(latchWord(0u, toggles, 25.0), 0u);
+  EXPECT_EQ(latchWord(0u, toggles, 35.0), 1ull << 63);
+}
+
 class FuEquivalenceTest : public ::testing::TestWithParam<circuits::FuKind> {
 };
 

@@ -64,20 +64,33 @@ TEST(HistogramTest, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
-TEST(HistogramTest, BinningAndClamping) {
+TEST(HistogramTest, BinningAndOutOfRangeCounters) {
   Histogram histogram(0.0, 10.0, 5);
   histogram.add(0.5);    // bin 0
   histogram.add(3.0);    // bin 1
   histogram.add(9.9);    // bin 4
-  histogram.add(-5.0);   // clamps to bin 0
-  histogram.add(100.0);  // clamps to bin 4
-  EXPECT_EQ(histogram.total(), 5u);
-  EXPECT_EQ(histogram.binCount(0), 2u);
+  histogram.add(-5.0);   // below range: counted as underflow
+  histogram.add(100.0);  // above range: counted as overflow
+  EXPECT_EQ(histogram.total(), 3u);  // in-range samples only
+  EXPECT_EQ(histogram.underflow(), 1u);
+  EXPECT_EQ(histogram.overflow(), 1u);
+  EXPECT_EQ(histogram.sampleCount(), 5u);
+  EXPECT_EQ(histogram.binCount(0), 1u);
   EXPECT_EQ(histogram.binCount(1), 1u);
   EXPECT_EQ(histogram.binCount(2), 0u);
-  EXPECT_EQ(histogram.binCount(4), 2u);
+  EXPECT_EQ(histogram.binCount(4), 1u);
   EXPECT_DOUBLE_EQ(histogram.binLow(1), 2.0);
   EXPECT_DOUBLE_EQ(histogram.binHigh(1), 4.0);
+}
+
+TEST(HistogramTest, UpperEdgeIsExclusive) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.add(0.0);   // lower edge is inclusive
+  histogram.add(10.0);  // upper edge is exclusive -> overflow
+  EXPECT_EQ(histogram.total(), 1u);
+  EXPECT_EQ(histogram.binCount(0), 1u);
+  EXPECT_EQ(histogram.underflow(), 0u);
+  EXPECT_EQ(histogram.overflow(), 1u);
 }
 
 TEST(HistogramTest, QuantileApproximation) {

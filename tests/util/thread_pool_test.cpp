@@ -1,0 +1,96 @@
+// ThreadPool tests: parallelFor covers every index exactly once from
+// any thread count, exceptions propagate to the caller, a 1-thread
+// pool runs inline, and nested/concurrent use does not deadlock.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tevot::util {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> order;
+  pool.parallelFor(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(static_cast<int>(i));
+  });
+  // With zero workers the caller claims indices in order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threadCount(), threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with "
+                                   << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(100,
+                                [](std::size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must remain usable after a failed run.
+  std::atomic<std::size_t> done{0};
+  pool.parallelFor(10, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 10u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRuns) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(20, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 190u);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsDoNotDeadlock) {
+  // Two external threads sharing one saturated pool: the callers help
+  // drain the queue, so neither can starve the other.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  auto hammer = [&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.parallelFor(50, [&](std::size_t) { ++total; });
+    }
+  };
+  std::thread t1(hammer), t2(hammer);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 2u * 20u * 50u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace tevot::util

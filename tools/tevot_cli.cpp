@@ -16,12 +16,18 @@
 // 0x-prefixed hex. `train` uses the Fig. 3 3x3 corner subset with
 // random workloads; `predict` prints the predicted dynamic delay and,
 // if a clock period is given, the error classification.
+//
+// The global `--jobs N` option (or TEVOT_JOBS) sets the worker count
+// for the parallel commands (`train`); N=0 means one job per hardware
+// thread. Results are bit-identical for every N.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 #include "liberty/lib_format.hpp"
 #include "netlist/verilog.hpp"
@@ -35,7 +41,7 @@ using namespace tevot;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tevot_cli <command> [args]\n"
+               "usage: tevot_cli [--jobs N] <command> [args]\n"
                "  fu-list\n"
                "  export-verilog <fu> <file.v>\n"
                "  export-lib <file.lib>\n"
@@ -45,7 +51,9 @@ int usage() {
                "  train <fu> <model-file> [cycles-per-corner]\n"
                "  predict <model-file> <V> <T> <a> <b> <prev_a> <prev_b> "
                "[tclk_ps]\n"
-               "fu: int_add | int_mul | fp_add | fp_mul\n");
+               "fu: int_add | int_mul | fp_add | fp_mul\n"
+               "--jobs N: worker threads for parallel commands "
+               "(0 = hardware threads)\n");
   return 2;
 }
 
@@ -151,26 +159,36 @@ int cmdCharacterize(const std::string& fu, double v, double t,
 }
 
 int cmdTrain(const std::string& fu, const std::string& model_path,
-             long cycles) {
+             long cycles, util::ThreadPool& pool) {
   circuits::FuKind kind;
   if (!fuFromName(fu, kind)) return usage();
   core::FuContext context(kind);
   util::Rng rng(7);
-  std::vector<dta::DtaTrace> traces;
-  for (const liberty::Corner& corner :
-       core::OperatingGrid::paper().subsampled(3, 3)) {
-    traces.push_back(context.characterize(
-        corner, dta::randomWorkloadFor(
-                    kind, static_cast<std::size_t>(cycles), rng)));
+  // Draw every workload sequentially first, so the training data is
+  // identical for any --jobs value, then characterize on the pool.
+  const auto corners = core::OperatingGrid::paper().subsampled(3, 3);
+  std::vector<dta::Workload> workloads;
+  std::vector<dta::CharacterizeJob> jobs;
+  workloads.reserve(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    workloads.push_back(dta::randomWorkloadFor(
+        kind, static_cast<std::size_t>(cycles), rng));
+  }
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    jobs.push_back(context.characterizeJob(corners[c], workloads[c]));
+  }
+  std::vector<dta::DtaTrace> traces = dta::characterizeAll(jobs, pool);
+  for (std::size_t c = 0; c < corners.size(); ++c) {
     std::printf("characterized (%.2f V, %3.0f C): mean %.1f ps\n",
-                corner.voltage, corner.temperature,
-                traces.back().meanDelayPs());
+                corners[c].voltage, corners[c].temperature,
+                traces[c].meanDelayPs());
   }
   core::TevotModel model;
-  model.train(traces, rng);
+  model.train(traces, rng, &pool);
   model.save(model_path);
-  std::printf("trained on %zu corners x %ld cycles; saved %s\n",
-              traces.size(), cycles, model_path.c_str());
+  std::printf("trained on %zu corners x %ld cycles (jobs=%zu); saved %s\n",
+              traces.size(), cycles, pool.threadCount(),
+              model_path.c_str());
   return 0;
 }
 
@@ -192,9 +210,28 @@ int cmdPredict(const std::string& model_path, double v, double t,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --jobs option (also honors TEVOT_JOBS) before
+  // command dispatch so it can appear anywhere on the line.
+  std::size_t jobs = 1;
+  if (const char* env = std::getenv("TEVOT_JOBS")) {
+    jobs = static_cast<std::size_t>(std::atol(env));
+  }
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (i > 0 && std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::atol(argv[i] + 7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    util::ThreadPool pool(jobs);
     if (command == "fu-list" && argc == 2) return cmdFuList();
     if (command == "export-verilog" && argc == 4) {
       return cmdExportVerilog(argv[2], argv[3]);
@@ -214,7 +251,7 @@ int main(int argc, char** argv) {
     }
     if (command == "train" && (argc == 4 || argc == 5)) {
       return cmdTrain(argv[2], argv[3],
-                      argc == 5 ? std::atol(argv[4]) : 1500);
+                      argc == 5 ? std::atol(argv[4]) : 1500, pool);
     }
     if (command == "predict" && (argc == 9 || argc == 10)) {
       return cmdPredict(argv[2], std::atof(argv[3]), std::atof(argv[4]),
