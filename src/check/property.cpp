@@ -1,0 +1,45 @@
+#include "check/property.hpp"
+
+#include <sstream>
+
+namespace tevot::check {
+
+void expect(bool condition, const std::string& message) {
+  if (!condition) throw PropertyViolation(message);
+}
+
+PropertyResult forAllSeeds(std::uint64_t base_seed, int n,
+                           const Property& property) {
+  PropertyResult result;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    util::Rng rng(seed);
+    ++result.seeds_checked;
+    try {
+      property(seed, rng);
+    } catch (const std::exception& error) {
+      result.ok = false;
+      result.failing_seed = seed;
+      result.message = error.what();
+      break;
+    }
+  }
+  return result;
+}
+
+PropertyResult forAllSeeds(int n, const Property& property) {
+  return forAllSeeds(kDefaultSeedBase, n, property);
+}
+
+std::string PropertyResult::report(const std::string& name) const {
+  std::ostringstream os;
+  if (ok) {
+    os << "ok   " << name << " (" << seeds_checked << " seeds)";
+  } else {
+    os << "FAIL " << name << " at seed " << failing_seed << ": "
+       << message;
+  }
+  return os.str();
+}
+
+}  // namespace tevot::check

@@ -1,0 +1,58 @@
+// Property-based differential-testing driver.
+//
+// check::forAllSeeds runs a property over a contiguous seed range and
+// reports the exact seed of the first violation, so any counterexample
+// found by a long CI fuzzing run reproduces from a one-line command
+// (`tevot_cli check --seed N`). The contract that makes this work:
+// a property derives ALL of its randomness from the Rng it is handed,
+// which is freshly seeded per invocation — no global state, no clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace tevot::check {
+
+/// Thrown by a property (usually via expect()) to signal a violation.
+/// Any other std::exception escaping a property is also treated as a
+/// violation — an oracle crashing is a finding, not a harness error.
+class PropertyViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws PropertyViolation with `message` when `condition` is false.
+void expect(bool condition, const std::string& message);
+
+/// A property receives the seed it runs under (for failure messages)
+/// and an Rng seeded with it — its only allowed source of randomness.
+using Property = std::function<void(std::uint64_t seed, util::Rng& rng)>;
+
+struct PropertyResult {
+  bool ok = true;
+  int seeds_checked = 0;           ///< properties run (incl. the failure)
+  std::uint64_t failing_seed = 0;  ///< valid only when !ok
+  std::string message;             ///< violation text when !ok
+
+  /// One-line verdict: "ok   <name> (N seeds)" or
+  /// "FAIL <name> at seed S: <message>".
+  std::string report(const std::string& name) const;
+};
+
+/// Runs `property` for seeds base_seed .. base_seed + n - 1 in order,
+/// stopping at the first violation.
+PropertyResult forAllSeeds(std::uint64_t base_seed, int n,
+                           const Property& property);
+
+/// Default seed base shared by tests, the CLI, and CI so a failing
+/// seed printed anywhere reproduces everywhere.
+inline constexpr std::uint64_t kDefaultSeedBase = 1;
+
+/// forAllSeeds from kDefaultSeedBase.
+PropertyResult forAllSeeds(int n, const Property& property);
+
+}  // namespace tevot::check

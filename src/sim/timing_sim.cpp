@@ -131,6 +131,17 @@ CycleRecord TimingSimulator::step(std::span<const std::uint8_t> inputs) {
     if (new_value == old_value) continue;
     net_values_[input_nets[i]] = new_value ? 1 : 0;
     if (observer_) observer_(cycle_base, input_nets[i], new_value);
+    // A primary input marked as a primary output is a zero-delay arc:
+    // STA seeds its arrival at 0, so the simulator must record its
+    // transition as an output toggle at the clock edge itself.
+    // Without this, latchedWord() never sees the transition and every
+    // cycle reads as a stale-value timing error (check repro seed 1,
+    // tests/check/sim_vs_sta_test.cpp).
+    const std::uint32_t out_slot = output_index_[input_nets[i]];
+    if (out_slot != 0) {
+      record.output_toggles.push_back(
+          ToggleEvent{0.0, out_slot - 1, new_value});
+    }
     scheduleFanout(input_nets[i], 0.0);
   }
   prev_inputs_.assign(inputs.begin(), inputs.end());

@@ -18,7 +18,13 @@ EvalOutcome evaluateOnTrace(ErrorModel& model, const dta::DtaTrace& trace,
     ++outcome.cycles;
     if (truth) ++outcome.true_errors;
     if (predicted) ++outcome.predicted_errors;
-    if (truth == predicted) ++outcome.matched;
+    if (truth == predicted) {
+      ++outcome.matched;
+    } else if (predicted) {
+      ++outcome.false_positives;
+    } else {
+      ++outcome.false_negatives;
+    }
   }
   return outcome;
 }
@@ -30,6 +36,8 @@ EvalOutcome mergeOutcomes(std::span<const EvalOutcome> outcomes) {
     merged.matched += outcome.matched;
     merged.true_errors += outcome.true_errors;
     merged.predicted_errors += outcome.predicted_errors;
+    merged.false_positives += outcome.false_positives;
+    merged.false_negatives += outcome.false_negatives;
   }
   return merged;
 }

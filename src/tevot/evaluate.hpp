@@ -17,6 +17,8 @@ struct EvalOutcome {
   std::size_t matched = 0;
   std::size_t true_errors = 0;      ///< ground-truth erroneous cycles
   std::size_t predicted_errors = 0;
+  std::size_t false_positives = 0;  ///< predicted error, truth correct
+  std::size_t false_negatives = 0;  ///< predicted correct, truth error
 
   double accuracy() const {
     return cycles == 0 ? 0.0
@@ -27,6 +29,20 @@ struct EvalOutcome {
     return cycles == 0 ? 0.0
                        : static_cast<double>(true_errors) /
                              static_cast<double>(cycles);
+  }
+  /// FP / ground-truth-correct cycles; 0 when every cycle errs.
+  double falsePositiveRate() const {
+    const std::size_t correct_cycles = cycles - true_errors;
+    return correct_cycles == 0
+               ? 0.0
+               : static_cast<double>(false_positives) /
+                     static_cast<double>(correct_cycles);
+  }
+  /// FN / ground-truth-erroneous cycles (miss rate); 0 when none err.
+  double falseNegativeRate() const {
+    return true_errors == 0 ? 0.0
+                            : static_cast<double>(false_negatives) /
+                                  static_cast<double>(true_errors);
   }
 };
 

@@ -1,0 +1,20 @@
+// Oracle 3 (model round-trip) as a ctest suite: serialize ->
+// deserialize -> serialize byte-identity, bit-identical predictions
+// after reload, and serial-vs-pooled forest-training determinism,
+// over random small tasks.
+#include "check/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/property.hpp"
+
+namespace tevot::check {
+namespace {
+
+TEST(ModelRoundTripTest, AllLearnersRoundTripOverRandomTasks) {
+  const PropertyResult result = forAllSeeds(10, checkModelRoundTrip);
+  EXPECT_TRUE(result.ok) << result.report("model-round-trip");
+}
+
+}  // namespace
+}  // namespace tevot::check

@@ -1,0 +1,43 @@
+// Oracle 2 (sim vs functional reference) as a ctest suite: every FU's
+// settled simulation outputs must match the pure software references
+// bit for bit under random workloads, and a generous clock must latch
+// exactly the settled word.
+#include "check/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/property.hpp"
+
+namespace tevot::check {
+namespace {
+
+class SimVsReferenceTest
+    : public ::testing::TestWithParam<circuits::FuKind> {};
+
+TEST_P(SimVsReferenceTest, SettledOutputsMatchReference) {
+  core::FuContext context(GetParam());
+  const PropertyResult result = forAllSeeds(
+      8, [&context](std::uint64_t seed, util::Rng& rng) {
+        checkSimVsReferenceOnFu(context, seed, rng);
+      });
+  EXPECT_TRUE(result.ok)
+      << result.report(std::string("sim-vs-ref/") +
+                       std::string(circuits::fuName(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFus, SimVsReferenceTest,
+    ::testing::Values(circuits::FuKind::kIntAdd, circuits::FuKind::kIntMul,
+                      circuits::FuKind::kFpAdd, circuits::FuKind::kFpMul),
+    [](const ::testing::TestParamInfo<circuits::FuKind>& info) {
+      switch (info.param) {
+        case circuits::FuKind::kIntAdd: return "IntAdd";
+        case circuits::FuKind::kIntMul: return "IntMul";
+        case circuits::FuKind::kFpAdd: return "FpAdd";
+        case circuits::FuKind::kFpMul: return "FpMul";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace tevot::check

@@ -1,0 +1,93 @@
+// Oracle 1 (sim vs STA) as a ctest suite: the random-netlist bound,
+// the sensitized-chain equality, the FU-path variant, and the
+// deterministic regression for the zero-delay input-as-output arc.
+#include "check/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/property.hpp"
+#include "sim/timing_sim.hpp"
+#include "sta/sta.hpp"
+
+namespace tevot::check {
+namespace {
+
+TEST(SimVsStaTest, RandomNetlistsRespectStaBound) {
+  const PropertyResult result =
+      forAllSeeds(60, checkSimVsStaOnRandomNetlist);
+  EXPECT_TRUE(result.ok) << result.report("sim-vs-sta/random-netlist");
+}
+
+TEST(SimVsStaTest, SensitizedChainMeetsStaExactly) {
+  const PropertyResult result = forAllSeeds(60, checkSimMeetsStaOnChain);
+  EXPECT_TRUE(result.ok) << result.report("sim-vs-sta/sensitized-chain");
+}
+
+TEST(SimVsStaTest, FuCharacterizationRespectsStaBound) {
+  for (const circuits::FuKind kind :
+       {circuits::FuKind::kIntAdd, circuits::FuKind::kFpMul}) {
+    core::FuContext context(kind);
+    const PropertyResult result = forAllSeeds(
+        8, [&context](std::uint64_t seed, util::Rng& rng) {
+          checkSimVsStaOnFu(context, seed, rng);
+        });
+    EXPECT_TRUE(result.ok)
+        << result.report(std::string("sim-vs-sta/") +
+                         std::string(circuits::fuName(kind)));
+  }
+}
+
+// Regression for the zero-delay-arc disagreement: a primary input
+// marked as a primary output toggles at the clock edge itself (STA
+// arrival 0), but the simulator's event loop only recorded toggles of
+// gate-driven nets, so latchedWord() never saw the transition and
+// every such cycle read as a stale-value timing error. First caught
+// by sim-vs-sta/random-netlist at seed 1 (cycle 1); fixed in
+// sim/timing_sim.cpp by recording the toggle in the launch loop.
+TEST(SimVsStaTest, InputMarkedAsOutputTogglesAtClockEdge) {
+  netlist::Netlist nl("passthrough");
+  const netlist::NetId in = nl.addInput("a");
+  const netlist::NetId buffered = nl.addGate1(netlist::CellKind::kBuf, in);
+  nl.markOutput(in, "a_out");       // bit 0: the zero-delay arc
+  nl.markOutput(buffered, "b_out"); // bit 1: a normal gate arc
+  nl.validate();
+
+  liberty::CornerDelays delays;
+  delays.corner = {0.9, 50.0};
+  delays.rise_ps = {10.0};
+  delays.fall_ps = {10.0};
+
+  const sta::StaResult sta_result = sta::analyze(nl, delays);
+  EXPECT_EQ(sta_result.arrival_ps[in], 0.0);
+
+  sim::TimingSimulator simulator(nl, delays);
+  const std::uint8_t low[] = {0};
+  const std::uint8_t high[] = {1};
+  simulator.reset(low);
+  const sim::CycleRecord record = simulator.step(high);
+  EXPECT_EQ(record.settled_word, 0b11u);
+
+  // The input bit's transition must be on the toggle log, at time 0.
+  bool input_toggle_seen = false;
+  for (const sim::ToggleEvent& toggle : record.output_toggles) {
+    if (toggle.output_bit == 0) {
+      input_toggle_seen = true;
+      EXPECT_EQ(toggle.time_ps, 0.0);
+      EXPECT_TRUE(toggle.value);
+    }
+  }
+  EXPECT_TRUE(input_toggle_seen);
+
+  // A latch clocked at the critical path captures both bits; before
+  // the fix bit 0 stayed stale and this read 0b10.
+  EXPECT_EQ(record.latchedWord(sta_result.critical_path_ps), 0b11u);
+  EXPECT_FALSE(record.timingError(sta_result.critical_path_ps));
+
+  // And the exact repro from the oracle's seed keeps passing.
+  const PropertyResult repro =
+      forAllSeeds(1, 1, checkSimVsStaOnRandomNetlist);
+  EXPECT_TRUE(repro.ok) << repro.report("sim-vs-sta/random-netlist");
+}
+
+}  // namespace
+}  // namespace tevot::check

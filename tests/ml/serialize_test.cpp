@@ -1,4 +1,6 @@
-// Forest serialization round-trips and malformed-input rejection.
+// Serialization round-trips (forests, single trees, k-NN, linear
+// classifiers) and malformed-input rejection across every loader:
+// wrong magic, version skew, kind/task mismatch, truncation.
 #include "ml/serialize.hpp"
 
 #include <gtest/gtest.h>
@@ -90,6 +92,167 @@ TEST(SerializeTest, MalformedInputRejected) {
     std::istringstream bad("tevot-forest v1 classifier 1\ntree 1\n"
                            "0 0.5 5 6 0\n");
     EXPECT_THROW(loadForestClassifier(bad), std::runtime_error);
+  }
+}
+
+TEST(SerializeTest, SingleTreeRoundTripIsByteIdentical) {
+  const Dataset data = smallTask(48);
+  DecisionTree original;
+  util::Rng rng(49);
+  original.fit(data, TreeTask::kClassification, TreeParams{}, rng);
+
+  std::ostringstream first;
+  saveTree(first, original);
+  std::istringstream stored(first.str());
+  const DecisionTree loaded = loadTree(stored);
+  std::ostringstream second;
+  saveTree(second, loaded);
+  EXPECT_EQ(first.str(), second.str());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(loaded.predict(data.x.row(r)),
+              original.predict(data.x.row(r)));
+  }
+}
+
+TEST(SerializeTest, KnnRoundTripIsByteIdentical) {
+  const Dataset data = smallTask(50);
+  KnnClassifier original(3);
+  original.fit(data);
+
+  std::ostringstream first;
+  saveKnn(first, original);
+  std::istringstream stored(first.str());
+  const KnnClassifier loaded = loadKnn(stored);
+  EXPECT_EQ(loaded.k(), 3);
+  std::ostringstream second;
+  saveKnn(second, loaded);
+  EXPECT_EQ(first.str(), second.str());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(loaded.predict(data.x.row(r)),
+              original.predict(data.x.row(r)));
+  }
+}
+
+TEST(SerializeTest, LinearRoundTripsAreByteIdentical) {
+  const Dataset data = smallTask(51);
+  LogisticRegression logistic;
+  logistic.fit(data);
+  LinearSvm svm;
+  svm.fit(data);
+
+  std::ostringstream logistic_first;
+  saveLinear(logistic_first, logistic);
+  std::istringstream logistic_stored(logistic_first.str());
+  const LogisticRegression logistic_loaded = loadLogistic(logistic_stored);
+  std::ostringstream logistic_second;
+  saveLinear(logistic_second, logistic_loaded);
+  EXPECT_EQ(logistic_first.str(), logistic_second.str());
+
+  std::ostringstream svm_first;
+  saveLinear(svm_first, svm);
+  std::istringstream svm_stored(svm_first.str());
+  const LinearSvm svm_loaded = loadSvm(svm_stored);
+  std::ostringstream svm_second;
+  saveLinear(svm_second, svm_loaded);
+  EXPECT_EQ(svm_first.str(), svm_second.str());
+
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(logistic_loaded.predict(data.x.row(r)),
+              logistic.predict(data.x.row(r)));
+    EXPECT_EQ(logistic_loaded.predictProbability(data.x.row(r)),
+              logistic.predictProbability(data.x.row(r)));
+    EXPECT_EQ(svm_loaded.predict(data.x.row(r)),
+              svm.predict(data.x.row(r)));
+  }
+}
+
+TEST(SerializeTest, LinearKindMismatchRejected) {
+  const Dataset data = smallTask(52);
+  LogisticRegression logistic;
+  logistic.fit(data);
+  std::ostringstream stream;
+  saveLinear(stream, logistic);
+  std::istringstream as_svm(stream.str());
+  EXPECT_THROW(loadSvm(as_svm), std::runtime_error);
+}
+
+TEST(SerializeTest, TreeMalformedInputRejected) {
+  {
+    std::istringstream bad("not-a-tree v1\ntree 1\n-1 0 -1 -1 1\n");
+    EXPECT_THROW(loadTree(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("tevot-tree v2\ntree 1\n-1 0 -1 -1 1\n");
+    EXPECT_THROW(loadTree(bad), std::runtime_error);
+  }
+  {
+    // Empty tree (zero nodes).
+    std::istringstream bad("tevot-tree v1\ntree 0\n");
+    EXPECT_THROW(loadTree(bad), std::runtime_error);
+  }
+  {
+    // Truncated: header promises one node, body has none.
+    std::istringstream bad("tevot-tree v1\ntree 1\n");
+    EXPECT_THROW(loadTree(bad), std::runtime_error);
+  }
+}
+
+TEST(SerializeTest, KnnMalformedInputRejected) {
+  {
+    std::istringstream bad("tevot-forest v1 3 1 1\n");
+    EXPECT_THROW(loadKnn(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("tevot-knn v9 3 1 1\n");
+    EXPECT_THROW(loadKnn(bad), std::runtime_error);
+  }
+  {
+    // Degenerate k.
+    std::istringstream bad(
+        "tevot-knn v1 0 1 1\nmean 0\ninvstd 1\n0.5 1\n");
+    EXPECT_THROW(loadKnn(bad), std::runtime_error);
+  }
+  {
+    // Scaler line truncated (one value promised two columns).
+    std::istringstream bad(
+        "tevot-knn v1 3 1 2\nmean 0\ninvstd 1 1\n0.5 0.5 1\n");
+    EXPECT_THROW(loadKnn(bad), std::runtime_error);
+  }
+  {
+    // Training rows truncated (two promised, one present).
+    std::istringstream bad(
+        "tevot-knn v1 3 2 1\nmean 0\ninvstd 1\n0.5 1\n");
+    EXPECT_THROW(loadKnn(bad), std::runtime_error);
+  }
+}
+
+TEST(SerializeTest, LinearMalformedInputRejected) {
+  {
+    std::istringstream bad("tevot-knn v1 logistic 2\n");
+    EXPECT_THROW(loadLogistic(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("tevot-linear v2 logistic 2\n");
+    EXPECT_THROW(loadLogistic(bad), std::runtime_error);
+  }
+  {
+    // Zero columns.
+    std::istringstream bad("tevot-linear v1 logistic 0\nweights\n");
+    EXPECT_THROW(loadLogistic(bad), std::runtime_error);
+  }
+  {
+    // Missing bias line.
+    std::istringstream bad(
+        "tevot-linear v1 logistic 2\nweights 1 2\nmean 0 0\n"
+        "invstd 1 1\n");
+    EXPECT_THROW(loadLogistic(bad), std::runtime_error);
+  }
+  {
+    // Truncated weights.
+    std::istringstream bad(
+        "tevot-linear v1 svm 3\nweights 1 2\nbias 0\nmean 0 0 0\n"
+        "invstd 1 1 1\n");
+    EXPECT_THROW(loadSvm(bad), std::runtime_error);
   }
 }
 

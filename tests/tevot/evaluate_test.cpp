@@ -1,6 +1,7 @@
 // Evaluation-harness tests: Eq. 4 accuracy accounting against
 // hand-checkable synthetic models (always-right, always-wrong,
-// always-error), and outcome merging.
+// always-error), confusion-matrix math (FP/FN rates) on hand-computed
+// fixtures, and outcome merging.
 #include "tevot/evaluate.hpp"
 
 #include <gtest/gtest.h>
@@ -73,6 +74,85 @@ TEST(EvaluateTest, PerfectOracleScoresFullAccuracy) {
   EXPECT_EQ(outcome.predicted_errors, outcome.true_errors);
 }
 
+/// Plays back a fixed per-cycle answer script.
+class ScriptedModel final : public ErrorModel {
+ public:
+  explicit ScriptedModel(std::vector<bool> answers)
+      : answers_(std::move(answers)) {}
+  bool predictError(const PredictionContext&) override {
+    return answers_[at_++];
+  }
+  std::string_view name() const override { return "scripted"; }
+
+ private:
+  std::vector<bool> answers_;
+  std::size_t at_ = 0;
+};
+
+/// Toggle-free trace whose error ground truth is the delay criterion:
+/// a quiet cycle (D[t] == 0) is never an error, otherwise D[t] > tclk.
+dta::DtaTrace traceWithDelays(std::span<const double> delays_ps) {
+  dta::DtaTrace trace;
+  trace.corner = {0.90, 50.0};
+  for (const double delay_ps : delays_ps) {
+    dta::DtaSample sample;
+    sample.delay_ps = delay_ps;
+    trace.samples.push_back(sample);
+  }
+  return trace;
+}
+
+TEST(EvaluateTest, ConfusionMatrixOnHandComputedFixture) {
+  // tclk = 200 ps over delays {100, 300, 0, 250}: truth {F, T, F, T}.
+  const dta::DtaTrace trace =
+      traceWithDelays(std::vector{100.0, 300.0, 0.0, 250.0});
+  const double tclk = 200.0;
+
+  // Predictions {T, T, F, F}: one FP (cycle 0), one hit (1), one
+  // correct reject (2), one FN (3).
+  ScriptedModel model(std::vector<bool>{true, true, false, false});
+  const EvalOutcome outcome = evaluateOnTrace(model, trace, tclk);
+  EXPECT_EQ(outcome.cycles, 4u);
+  EXPECT_EQ(outcome.matched, 2u);
+  EXPECT_EQ(outcome.true_errors, 2u);
+  EXPECT_EQ(outcome.predicted_errors, 2u);
+  EXPECT_EQ(outcome.false_positives, 1u);
+  EXPECT_EQ(outcome.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(outcome.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(outcome.falsePositiveRate(), 0.5);  // 1 FP / 2 correct
+  EXPECT_DOUBLE_EQ(outcome.falseNegativeRate(), 0.5);  // 1 FN / 2 errors
+}
+
+TEST(EvaluateTest, DegenerateAllCorrectTrace) {
+  // Every cycle meets timing; an always-error model is pure FP.
+  const dta::DtaTrace trace =
+      traceWithDelays(std::vector{10.0, 0.0, 150.0, 199.0});
+  FixedAnswerModel always_error(true);
+  const EvalOutcome outcome = evaluateOnTrace(always_error, trace, 200.0);
+  EXPECT_EQ(outcome.true_errors, 0u);
+  EXPECT_EQ(outcome.false_positives, 4u);
+  EXPECT_EQ(outcome.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(outcome.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.falsePositiveRate(), 1.0);
+  // No erroneous cycles: the miss rate is 0 by convention, not NaN.
+  EXPECT_DOUBLE_EQ(outcome.falseNegativeRate(), 0.0);
+}
+
+TEST(EvaluateTest, DegenerateAllErrorTrace) {
+  // Every cycle errs; a never-error model is pure FN.
+  const dta::DtaTrace trace =
+      traceWithDelays(std::vector{300.0, 201.0, 500.0});
+  FixedAnswerModel never_error(false);
+  const EvalOutcome outcome = evaluateOnTrace(never_error, trace, 200.0);
+  EXPECT_EQ(outcome.true_errors, 3u);
+  EXPECT_EQ(outcome.false_positives, 0u);
+  EXPECT_EQ(outcome.false_negatives, 3u);
+  EXPECT_DOUBLE_EQ(outcome.accuracy(), 0.0);
+  // No correct cycles: the false-alarm rate is 0 by convention.
+  EXPECT_DOUBLE_EQ(outcome.falsePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.falseNegativeRate(), 1.0);
+}
+
 TEST(EvaluateTest, MergeOutcomes) {
   EvalOutcome a;
   a.cycles = 10;
@@ -84,11 +164,15 @@ TEST(EvaluateTest, MergeOutcomes) {
   b.matched = 15;
   b.true_errors = 6;
   b.predicted_errors = 4;
+  a.false_positives = 1;
+  b.false_negatives = 9;
   const EvalOutcome merged = mergeOutcomes(std::vector{a, b});
   EXPECT_EQ(merged.cycles, 40u);
   EXPECT_EQ(merged.matched, 24u);
   EXPECT_EQ(merged.true_errors, 8u);
   EXPECT_EQ(merged.predicted_errors, 7u);
+  EXPECT_EQ(merged.false_positives, 1u);
+  EXPECT_EQ(merged.false_negatives, 9u);
   EXPECT_DOUBLE_EQ(merged.accuracy(), 0.6);
   EXPECT_DOUBLE_EQ(merged.groundTruthTer(), 0.2);
   const EvalOutcome empty = mergeOutcomes({});

@@ -1,0 +1,111 @@
+// FuContext / trainModelSuite pipeline-glue tests: the per-corner
+// delay cache (cold fill, warm hit, distinct corners), characterizeJob
+// equivalence with the direct characterize path, and the tiny-workload
+// model-suite training round.
+#include "tevot/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dta/workload.hpp"
+#include "liberty/corner.hpp"
+#include "tevot/evaluate.hpp"
+
+namespace tevot::core {
+namespace {
+
+TEST(FuContextTest, DelaysAtColdThenWarmCache) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  const liberty::Corner corner{0.81, 0.0};
+  const liberty::CornerDelays& cold = context.delaysAt(corner);
+  const liberty::CornerDelays& warm = context.delaysAt(corner);
+  // Warm hit returns the cached node, not a recomputation.
+  EXPECT_EQ(&cold, &warm);
+  // The cached content is exactly the direct annotation.
+  const liberty::CornerDelays direct = liberty::annotateCorner(
+      context.netlist(), context.library(), context.vtModel(), corner);
+  ASSERT_EQ(cold.rise_ps.size(), direct.rise_ps.size());
+  EXPECT_EQ(cold.rise_ps, direct.rise_ps);
+  EXPECT_EQ(cold.fall_ps, direct.fall_ps);
+}
+
+TEST(FuContextTest, DistinctCornersGetDistinctDelays) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  const liberty::CornerDelays& slow = context.delaysAt({0.81, 100.0});
+  const liberty::CornerDelays& fast = context.delaysAt({1.00, 0.0});
+  EXPECT_NE(&slow, &fast);
+  // Lower voltage + higher temperature must be strictly slower (the
+  // first gates can be zero-delay constant cells, so compare the
+  // slowest arc rather than an arbitrary one).
+  ASSERT_FALSE(slow.rise_ps.empty());
+  EXPECT_GT(*std::max_element(slow.rise_ps.begin(), slow.rise_ps.end()),
+            *std::max_element(fast.rise_ps.begin(), fast.rise_ps.end()));
+  // And the first corner's cache node must still be valid (std::map
+  // nodes do not move on insert).
+  EXPECT_EQ(&slow, &context.delaysAt({0.81, 100.0}));
+}
+
+TEST(FuContextTest, CharacterizeJobMatchesDirectCharacterize) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  const liberty::Corner corner{0.90, 50.0};
+  util::Rng rng(321);
+  const dta::Workload workload =
+      dta::randomWorkloadFor(circuits::FuKind::kIntAdd, 40, rng);
+
+  const dta::DtaTrace direct = context.characterize(corner, workload);
+  util::ThreadPool pool(2);
+  const std::vector<dta::CharacterizeJob> jobs{
+      context.characterizeJob(corner, workload)};
+  const std::vector<dta::DtaTrace> pooled =
+      dta::characterizeAll(jobs, pool);
+
+  ASSERT_EQ(pooled.size(), 1u);
+  ASSERT_EQ(pooled[0].samples.size(), direct.samples.size());
+  for (std::size_t c = 0; c < direct.samples.size(); ++c) {
+    EXPECT_EQ(pooled[0].samples[c].delay_ps, direct.samples[c].delay_ps);
+    EXPECT_EQ(pooled[0].samples[c].settled_word,
+              direct.samples[c].settled_word);
+  }
+}
+
+TEST(PipelineTest, TrainModelSuiteOnTinyWorkload) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  util::Rng rng(55);
+  std::vector<dta::DtaTrace> traces;
+  const liberty::Corner corners[] = {{0.81, 0.0}, {1.00, 100.0}};
+  for (const liberty::Corner& corner : corners) {
+    traces.push_back(context.characterize(
+        corner,
+        dta::randomWorkloadFor(circuits::FuKind::kIntAdd, 60, rng)));
+  }
+
+  ml::ForestParams params;
+  params.n_trees = 3;
+  params.tree.max_depth = 4;
+  const ModelSuite suite = trainModelSuite(traces, rng, params);
+
+  // Paper Table III column order.
+  const auto models = suite.errorModels();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0]->name(), "TEVoT");
+  EXPECT_EQ(models[1]->name(), "Delay-based");
+  EXPECT_EQ(models[2]->name(), "TER-based");
+  EXPECT_EQ(models[3]->name(), "TEVoT-NH");
+
+  // Every trained/calibrated model classifies a cycle at a calibrated
+  // corner without throwing, and the evaluation harness accepts it.
+  const double tclk =
+      dta::speedupClockPs(traces[0].baseClockPs(), 0.10);
+  for (const auto& model : models) {
+    const EvalOutcome outcome =
+        evaluateOnTrace(*model, traces[0], tclk);
+    EXPECT_EQ(outcome.cycles, traces[0].samples.size());
+    EXPECT_EQ(outcome.matched + outcome.false_positives +
+                  outcome.false_negatives,
+              outcome.cycles);
+  }
+}
+
+}  // namespace
+}  // namespace tevot::core

@@ -11,11 +11,16 @@
 //   tevot_cli train <fu> <model-file> [cycles-per-corner]
 //   tevot_cli predict <model-file> <V> <T> <a> <b> <prev_a> <prev_b>
 //                     [tclk_ps]
+//   tevot_cli check [n-seeds] [--seed S]
 //
 // FU names: int_add, int_mul, fp_add, fp_mul. Numeric operands accept
 // 0x-prefixed hex. `train` uses the Fig. 3 3x3 corner subset with
 // random workloads; `predict` prints the predicted dynamic delay and,
-// if a clock period is given, the error classification.
+// if a clock period is given, the error classification. `check` runs
+// every differential oracle (src/check/) over n-seeds seeds (default
+// 25) starting at S (default 1) and exits nonzero on the first
+// violation, printing the exact seed so
+// `tevot_cli check 1 --seed S` reproduces it.
 //
 // The global `--jobs N` option (or TEVOT_JOBS) sets the worker count
 // for the parallel commands (`train`); N=0 means one job per hardware
@@ -24,11 +29,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/thread_pool.hpp"
 
+#include "check/oracles.hpp"
+#include "check/property.hpp"
 #include "liberty/lib_format.hpp"
 #include "netlist/verilog.hpp"
 #include "sdf/sdf.hpp"
@@ -51,6 +60,7 @@ int usage() {
                "  train <fu> <model-file> [cycles-per-corner]\n"
                "  predict <model-file> <V> <T> <a> <b> <prev_a> <prev_b> "
                "[tclk_ps]\n"
+               "  check [n-seeds] [--seed S]\n"
                "fu: int_add | int_mul | fp_add | fp_mul\n"
                "--jobs N: worker threads for parallel commands "
                "(0 = hardware threads)\n");
@@ -207,6 +217,48 @@ int cmdPredict(const std::string& model_path, double v, double t,
   return 0;
 }
 
+int cmdCheck(int n_seeds, std::uint64_t base_seed) {
+  // One context per FU so the per-corner delay caches are shared
+  // across seeds (FuContext holds a mutex, hence the unique_ptrs).
+  std::vector<std::unique_ptr<core::FuContext>> contexts;
+  for (const circuits::FuKind kind : circuits::kAllFus) {
+    contexts.push_back(std::make_unique<core::FuContext>(kind));
+  }
+  std::vector<std::pair<std::string, check::Property>> properties;
+  properties.emplace_back("sim-vs-sta/random-netlist",
+                          check::checkSimVsStaOnRandomNetlist);
+  properties.emplace_back("sim-vs-sta/sensitized-chain",
+                          check::checkSimMeetsStaOnChain);
+  for (auto& context : contexts) {
+    core::FuContext* fu = context.get();
+    const std::string name(circuits::fuName(fu->kind()));
+    properties.emplace_back(
+        "sim-vs-sta/" + name,
+        [fu](std::uint64_t seed, util::Rng& rng) {
+          check::checkSimVsStaOnFu(*fu, seed, rng);
+        });
+    properties.emplace_back(
+        "sim-vs-ref/" + name,
+        [fu](std::uint64_t seed, util::Rng& rng) {
+          check::checkSimVsReferenceOnFu(*fu, seed, rng);
+        });
+  }
+  properties.emplace_back("model-round-trip", check::checkModelRoundTrip);
+
+  bool ok = true;
+  for (const auto& [name, property] : properties) {
+    const check::PropertyResult result =
+        check::forAllSeeds(base_seed, n_seeds, property);
+    std::printf("%s\n", result.report(name).c_str());
+    if (!result.ok) {
+      std::printf("  reproduce: tevot_cli check 1 --seed %llu\n",
+                  static_cast<unsigned long long>(result.failing_seed));
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +310,24 @@ int main(int argc, char** argv) {
                         parseWord(argv[5]), parseWord(argv[6]),
                         parseWord(argv[7]), parseWord(argv[8]),
                         argc == 10 ? argv[9] : nullptr);
+    }
+    if (command == "check") {
+      int n_seeds = 25;
+      std::uint64_t base_seed = check::kDefaultSeedBase;
+      bool parsed = true;
+      bool have_count = false;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          base_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!have_count) {
+          n_seeds = static_cast<int>(std::atol(argv[i]));
+          have_count = true;
+        } else {
+          parsed = false;
+        }
+      }
+      if (parsed && n_seeds > 0) return cmdCheck(n_seeds, base_seed);
+      return usage();
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "tevot_cli: %s\n", error.what());
