@@ -1,7 +1,9 @@
 #include "apps/image.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -16,7 +18,8 @@ std::uint8_t Image::atClamped(int x, int y) const {
 
 void writePgm(const std::string& path, const Image& image) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("writePgm: cannot open " + path);
+  if (!os) throw std::runtime_error("writePgm: cannot open " + path + ": " +
+                             std::strerror(errno));
   os << "P5\n" << image.width() << " " << image.height() << "\n255\n";
   os.write(reinterpret_cast<const char*>(image.pixels().data()),
            static_cast<std::streamsize>(image.pixelCount()));
@@ -24,7 +27,8 @@ void writePgm(const std::string& path, const Image& image) {
 
 Image readPgm(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("readPgm: cannot open " + path);
+  if (!is) throw std::runtime_error("readPgm: cannot open " + path + ": " +
+                             std::strerror(errno));
   std::string magic;
   int width = 0, height = 0, maxval = 0;
   is >> magic >> width >> height >> maxval;

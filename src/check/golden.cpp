@@ -1,6 +1,8 @@
 #include "check/golden.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -114,7 +116,8 @@ GoldenDiff compareGoldenTrace(const std::string& expected,
 std::string readTextFile(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
-    throw std::runtime_error("readTextFile: cannot open " + path);
+    throw std::runtime_error("readTextFile: cannot open " + path + ": " +
+                             std::strerror(errno));
   }
   std::ostringstream os;
   os << is.rdbuf();
@@ -124,7 +127,8 @@ std::string readTextFile(const std::string& path) {
 void writeTextFile(const std::string& path, const std::string& text) {
   std::ofstream os(path, std::ios::binary);
   if (!os) {
-    throw std::runtime_error("writeTextFile: cannot open " + path);
+    throw std::runtime_error("writeTextFile: cannot open " + path + ": " +
+                             std::strerror(errno));
   }
   os << text;
   if (!os) {

@@ -1,0 +1,118 @@
+#include "check/sweep_oracle.hpp"
+
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/property.hpp"
+#include "dta/sweep.hpp"
+#include "dta/trace_io.hpp"
+#include "dta/workload.hpp"
+#include "tevot/pipeline.hpp"
+#include "util/fault_injection.hpp"
+
+namespace tevot::check {
+
+void checkSweepFaultTolerance(std::uint64_t seed, util::Rng& rng) {
+  core::FuContext context(circuits::FuKind::kIntAdd);
+
+  // A small random grid cell set: 4 jobs, 6-12 cycles each.
+  constexpr std::size_t kJobs = 4;
+  std::vector<liberty::Corner> corners;
+  std::vector<dta::Workload> workloads;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    corners.push_back(randomCorner(rng));
+    workloads.push_back(dta::randomWorkloadFor(
+        context.kind(),
+        static_cast<std::size_t>(rng.nextInRange(6, 12)), rng));
+  }
+  std::vector<dta::CharacterizeJob> jobs;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    dta::CharacterizeJob job =
+        context.characterizeJob(corners[j], workloads[j]);
+    job.name = "sweep_oracle_j" + std::to_string(j);
+    jobs.push_back(std::move(job));
+  }
+
+  // The reference: a clean serial run.
+  util::ThreadPool serial_pool(1);
+  const std::vector<dta::DtaTrace> clean =
+      dta::characterizeAll(jobs, serial_pool);
+
+  util::ThreadPool pool(3);
+
+  // Phase 1: transient faults (~30% of jobs fail their first attempt)
+  // with a retry budget — the sweep must fully recover.
+  util::FaultInjector transient;
+  {
+    util::FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 0.3;
+    plan.points = {"job.exception", "job.slow"};
+    plan.fail_attempts = 1;
+    plan.slow_ms = 1.0;
+    transient.arm(plan);
+  }
+  dta::SweepOptions options;
+  options.max_retries = 2;
+  options.backoff_ms = 0.0;
+  options.faults = &transient;
+  const dta::SweepResult recovered = dta::runSweep(jobs, pool, options);
+  expect(recovered.report.allOk(),
+         "transient faults must be retried to success: " +
+             recovered.report.summary());
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const dta::JobOutcome& outcome = recovered.report.outcomes[j];
+    expect(recovered.traces[j].has_value(),
+           "job " + outcome.key + " has no trace after recovery");
+    expect(dta::tracesBitIdentical(*recovered.traces[j], clean[j]),
+           "job " + outcome.key +
+               " trace differs from the clean serial run");
+    if (transient.siteIsFaulty("job.exception", outcome.key)) {
+      expect(outcome.attempts >= 2,
+             "faulty job " + outcome.key + " records only " +
+                 std::to_string(outcome.attempts) + " attempt(s)");
+    }
+  }
+
+  // Phase 2: permanent faults — faulty jobs must be isolated and
+  // reported with their full attempt count; siblings must survive.
+  util::FaultInjector permanent;
+  {
+    util::FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 0.3;
+    plan.points = {"job.exception"};
+    plan.fail_attempts = 1000;  // beyond any retry budget
+    permanent.arm(plan);
+  }
+  options.max_retries = 1;
+  options.faults = &permanent;
+  const dta::SweepResult isolated = dta::runSweep(jobs, pool, options);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const dta::JobOutcome& outcome = isolated.report.outcomes[j];
+    if (permanent.siteIsFaulty("job.exception", outcome.key)) {
+      expect(outcome.state == dta::JobState::kFailed,
+             "permanently faulty job " + outcome.key + " is " +
+                 dta::jobStateName(outcome.state) + ", expected failed");
+      expect(outcome.attempts == options.max_retries + 1,
+             "permanently faulty job " + outcome.key + " records " +
+                 std::to_string(outcome.attempts) + " attempts");
+      expect(outcome.status.code == util::StatusCode::kFaultInjected,
+             "permanently faulty job " + outcome.key +
+                 " misclassified: " + outcome.status.toString());
+      expect(!isolated.traces[j].has_value(),
+             "failed job " + outcome.key + " still produced a trace");
+    } else {
+      expect(outcome.state == dta::JobState::kSucceeded,
+             "clean sibling " + outcome.key + " is " +
+                 dta::jobStateName(outcome.state));
+      expect(isolated.traces[j].has_value() &&
+                 dta::tracesBitIdentical(*isolated.traces[j], clean[j]),
+             "clean sibling " + outcome.key +
+                 " trace differs from the clean serial run");
+    }
+  }
+}
+
+}  // namespace tevot::check

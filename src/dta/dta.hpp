@@ -93,6 +93,9 @@ struct CharacterizeJob {
   std::function<const liberty::CornerDelays&()> delays;
   const Workload* workload = nullptr;
   DtaOptions options;
+  /// Stable identifier used by the sweep engine for checkpoint file
+  /// names and fault-injection keys. Empty falls back to "job<index>".
+  std::string name;
 };
 
 /// Runs every job on `pool`, each with its own TimingSimulator, and

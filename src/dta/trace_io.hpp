@@ -1,0 +1,52 @@
+// Bit-exact DtaTrace (de)serialization for sweep checkpoints.
+//
+// A checkpoint pins one job's full characterization — corner,
+// workload name, every sample including the toggle log — so a killed
+// sweep can resume without recomputing completed corners. Doubles are
+// printed as C99 hexfloats (%a), which round-trip exactly, and the
+// file carries a trailing "end" sentinel so a truncated write is
+// always detected as a parse error, never read as a shorter trace.
+// Files are written atomically (temp file in the same directory, then
+// rename) so a reader can never observe a half-written checkpoint.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "dta/dta.hpp"
+#include "util/fault_injection.hpp"
+
+namespace tevot::dta {
+
+/// Writes `trace` as checkpoint text. Throws util::StatusError
+/// (kIoError) when the stream fails.
+void writeTrace(std::ostream& os, const DtaTrace& trace);
+
+/// Parses checkpoint text. Throws util::StatusError (kParseError) on
+/// any malformed, truncated, or non-finite content.
+DtaTrace readTrace(std::istream& is);
+
+std::string traceToString(const DtaTrace& trace);
+DtaTrace traceFromString(const std::string& text);
+
+/// Atomic file write: writes `path`.tmp and renames it onto `path`.
+/// When `faults` is armed, the io.open / io.write fault points fire
+/// with `fault_key`. Throws util::StatusError (kIoError, message
+/// includes the path and errno text) on failure; on failure the
+/// temp file is removed and `path` is left untouched.
+void writeTraceFileAtomic(const std::string& path, const DtaTrace& trace,
+                          util::FaultInjector* faults = nullptr,
+                          std::string_view fault_key = {});
+
+/// Reads a checkpoint file (io.open fault point applies). Throws
+/// util::StatusError: kIoError when the file cannot be opened,
+/// kParseError when its content is malformed.
+DtaTrace readTraceFile(const std::string& path,
+                       util::FaultInjector* faults = nullptr,
+                       std::string_view fault_key = {});
+
+/// Field-by-field bit-exact equality, toggles included.
+bool tracesBitIdentical(const DtaTrace& a, const DtaTrace& b);
+
+}  // namespace tevot::dta

@@ -1,7 +1,10 @@
 #include "liberty/lib_format.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -103,7 +106,15 @@ double parseNumber(const std::string& token, const std::string& context) {
     std::size_t consumed = 0;
     const double value = std::stod(token, &consumed);
     if (consumed != token.size()) throw std::invalid_argument(token);
+    // Reject "nan"/"inf", which stod accepts: a library carrying a
+    // non-finite delay or sensitivity is corrupt.
+    if (!std::isfinite(value)) {
+      throw std::runtime_error("Liberty parse error: non-finite number '" +
+                               token + "' for " + context);
+    }
     return value;
+  } catch (const std::runtime_error&) {
+    throw;
   } catch (const std::exception&) {
     throw std::runtime_error("Liberty parse error: bad number '" + token +
                              "' for " + context);
@@ -163,7 +174,10 @@ std::string toLibertyString(const LibertyLibrary& library) {
 void writeLibertyFile(const std::string& path,
                       const LibertyLibrary& library) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("writeLibertyFile: cannot open " + path);
+  if (!os) {
+    throw std::runtime_error("writeLibertyFile: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
   writeLiberty(os, library);
 }
 
@@ -282,7 +296,10 @@ LibertyLibrary parseLibertyString(const std::string& text) {
 
 LibertyLibrary parseLibertyFile(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("parseLibertyFile: cannot open " + path);
+  if (!is) {
+    throw std::runtime_error("parseLibertyFile: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
   return parseLiberty(is);
 }
 

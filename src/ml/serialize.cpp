@@ -1,5 +1,7 @@
 #include "ml/serialize.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -263,21 +265,24 @@ LinearSvm loadSvm(std::istream& is) {
 void saveForestFile(const std::string& path,
                     const RandomForestClassifier& forest) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("saveForestFile: cannot open " + path);
+  if (!os) throw std::runtime_error("saveForestFile: cannot open " + path + ": " +
+                             std::strerror(errno));
   saveForest(os, forest);
 }
 
 void saveForestFile(const std::string& path,
                     const RandomForestRegressor& forest) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("saveForestFile: cannot open " + path);
+  if (!os) throw std::runtime_error("saveForestFile: cannot open " + path + ": " +
+                             std::strerror(errno));
   saveForest(os, forest);
 }
 
 RandomForestClassifier loadForestClassifierFile(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
-    throw std::runtime_error("loadForestClassifierFile: cannot open " + path);
+    throw std::runtime_error("loadForestClassifierFile: cannot open " + path + ": " +
+                             std::strerror(errno));
   }
   return loadForestClassifier(is);
 }
@@ -285,7 +290,8 @@ RandomForestClassifier loadForestClassifierFile(const std::string& path) {
 RandomForestRegressor loadForestRegressorFile(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
-    throw std::runtime_error("loadForestRegressorFile: cannot open " + path);
+    throw std::runtime_error("loadForestRegressorFile: cannot open " + path + ": " +
+                             std::strerror(errno));
   }
   return loadForestRegressor(is);
 }

@@ -1,7 +1,10 @@
 #include "sdf/sdf.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -96,7 +99,16 @@ double parseDouble(const std::string& tok, const char* context) {
     std::size_t consumed = 0;
     const double value = std::stod(tok, &consumed);
     if (consumed != tok.size()) throw std::invalid_argument(tok);
+    // stod happily parses "nan" and "inf"; a delay file carrying
+    // either is garbage, never a valid annotation.
+    if (!std::isfinite(value)) {
+      throw std::runtime_error(
+          std::string("SDF parse error: non-finite number '") + tok +
+          "' in " + context);
+    }
     return value;
+  } catch (const std::runtime_error&) {
+    throw;
   } catch (const std::exception&) {
     throw std::runtime_error(std::string("SDF parse error: bad number '") +
                              tok + "' in " + context);
@@ -221,8 +233,18 @@ liberty::CornerDelays parseSdf(std::istream& is, const netlist::Netlist& nl) {
         throw std::runtime_error("SDF parse error: bad instance '" +
                                  instance + "'");
       }
-      const auto gate_id =
-          static_cast<netlist::GateId>(std::stoul(instance.substr(1)));
+      netlist::GateId gate_id = 0;
+      try {
+        std::size_t consumed = 0;
+        const unsigned long parsed = std::stoul(instance.substr(1), &consumed);
+        if (consumed != instance.size() - 1) {
+          throw std::invalid_argument(instance);
+        }
+        gate_id = static_cast<netlist::GateId>(parsed);
+      } catch (const std::exception&) {
+        throw std::runtime_error("SDF parse error: bad instance '" +
+                                 instance + "'");
+      }
       if (gate_id >= nl.gateCount()) {
         throw std::runtime_error("SDF parse error: instance '" + instance +
                                  "' not in netlist");
@@ -274,14 +296,20 @@ liberty::CornerDelays parseSdfString(const std::string& text,
 void writeSdfFile(const std::string& path, const netlist::Netlist& nl,
                   const liberty::CornerDelays& delays) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("writeSdfFile: cannot open " + path);
+  if (!os) {
+    throw std::runtime_error("writeSdfFile: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
   writeSdf(os, nl, delays);
 }
 
 liberty::CornerDelays parseSdfFile(const std::string& path,
                                    const netlist::Netlist& nl) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("parseSdfFile: cannot open " + path);
+  if (!is) {
+    throw std::runtime_error("parseSdfFile: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
   return parseSdf(is, nl);
 }
 

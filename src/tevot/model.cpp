@@ -1,5 +1,7 @@
 #include "tevot/model.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -62,7 +64,8 @@ std::vector<double> TevotModel::featureImportance() const {
 void TevotModel::save(const std::string& path) const {
   if (!trained()) throw std::logic_error("TevotModel::save: not trained");
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("TevotModel::save: cannot open " + path);
+  if (!os) throw std::runtime_error("TevotModel::save: cannot open " + path + ": " +
+                             std::strerror(errno));
   os << "tevot-model v1 history " << (config_.include_history ? 1 : 0)
      << "\n";
   ml::saveForest(os, forest_);
@@ -70,7 +73,8 @@ void TevotModel::save(const std::string& path) const {
 
 TevotModel TevotModel::load(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("TevotModel::load: cannot open " + path);
+  if (!is) throw std::runtime_error("TevotModel::load: cannot open " + path + ": " +
+                             std::strerror(errno));
   std::string magic, version, key;
   int history = 0;
   if (!(is >> magic >> version >> key >> history) ||

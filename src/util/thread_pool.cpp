@@ -3,8 +3,27 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 
 namespace tevot::util {
+
+namespace {
+
+std::string describeException(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& exception) {
+    return exception.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+}  // namespace
+
+ParallelForError::ParallelForError(const std::string& what,
+                                   std::vector<std::exception_ptr> exceptions)
+    : std::runtime_error(what), exceptions_(std::move(exceptions)) {}
 
 std::size_t ThreadPool::hardwareThreads() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -73,7 +92,7 @@ void ThreadPool::parallelFor(std::size_t count,
     std::mutex done_mutex;
     std::condition_variable done;
     std::size_t running = 0;
-    std::exception_ptr error;
+    std::vector<std::exception_ptr> errors;
   };
   auto batch = std::make_shared<Batch>();
   batch->limit = count;
@@ -87,8 +106,10 @@ void ThreadPool::parallelFor(std::size_t count,
         body(i);
       } catch (...) {
         std::lock_guard lock(batch->done_mutex);
-        if (!batch->error) batch->error = std::current_exception();
-        // Poison the counter so no further index is claimed.
+        batch->errors.push_back(std::current_exception());
+        // Poison the counter so no further index is claimed. Indices
+        // already claimed by other threads still run to completion
+        // (and may append more errors here).
         batch->next.store(batch->limit, std::memory_order_relaxed);
       }
     }
@@ -128,7 +149,19 @@ void ThreadPool::parallelFor(std::size_t count,
                          [&] { return batch->running == 0; });
     if (batch->running == 0) break;
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  // All helpers are done: batch->errors is stable without the lock.
+  if (batch->errors.size() == 1) {
+    std::rethrow_exception(batch->errors.front());
+  }
+  if (batch->errors.size() > 1) {
+    std::string what = "parallelFor: " +
+                       std::to_string(batch->errors.size()) +
+                       " bodies threw:";
+    for (const std::exception_ptr& error : batch->errors) {
+      what += " [" + describeException(error) + "]";
+    }
+    throw ParallelForError(what, std::move(batch->errors));
+  }
 }
 
 }  // namespace tevot::util

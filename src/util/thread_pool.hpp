@@ -13,12 +13,32 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace tevot::util {
+
+/// Thrown by parallelFor when MORE THAN ONE body failed: carries every
+/// captured exception (in claim order of the failing indices as the
+/// threads recorded them) and concatenates their messages in what().
+/// A single failing body rethrows its original exception unchanged.
+class ParallelForError : public std::runtime_error {
+ public:
+  ParallelForError(const std::string& what,
+                   std::vector<std::exception_ptr> exceptions);
+
+  const std::vector<std::exception_ptr>& exceptions() const {
+    return exceptions_;
+  }
+
+ private:
+  std::vector<std::exception_ptr> exceptions_;
+};
 
 class ThreadPool {
  public:
@@ -36,8 +56,12 @@ class ThreadPool {
 
   /// Invokes body(i) exactly once for every i in [0, count) across the
   /// pool and the calling thread, blocking until all calls complete.
-  /// The first exception thrown by any body is rethrown on the caller
-  /// after the loop drains (remaining unclaimed indices are skipped).
+  /// On failure the loop still drains: indices already claimed when a
+  /// body throws run to completion (their exceptions are captured
+  /// too); only unclaimed indices are skipped. After the drain, a
+  /// single captured exception is rethrown unchanged on the caller,
+  /// and multiple captured exceptions are surfaced together as one
+  /// ParallelForError.
   void parallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& body);
 

@@ -134,7 +134,16 @@ VcdData parseVcd(std::istream& is) {
     } else if (tok == "$dumpvars" || tok == "$end") {
       // Initial-value section markers; values inside are parsed below.
     } else if (!tok.empty() && tok[0] == '#') {
-      now = std::stoull(tok.substr(1));
+      // stoull would throw a bare std::invalid_argument (or accept
+      // trailing garbage) on a corrupt timestamp; keep the error typed.
+      try {
+        std::size_t consumed = 0;
+        now = std::stoull(tok.substr(1), &consumed);
+        if (consumed != tok.size() - 1) throw std::invalid_argument(tok);
+      } catch (const std::exception&) {
+        throw std::runtime_error("VCD parse error: bad timestamp '" + tok +
+                                 "'");
+      }
     } else if (!tok.empty() && (tok[0] == '0' || tok[0] == '1')) {
       if (in_definitions) {
         throw std::runtime_error(

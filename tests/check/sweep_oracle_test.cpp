@@ -1,0 +1,22 @@
+// Registers the sweep fault-tolerance oracle with gtest: under
+// injected transient and permanent faults, every surviving trace is
+// bit-identical to a clean serial run and the report accounts for
+// every failure. A handful of seeds here; CI sweeps more via
+// `tevot_cli check` and the dedicated fault-injection job.
+#include "check/sweep_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/property.hpp"
+
+namespace tevot::check {
+namespace {
+
+TEST(SweepOracleTest, FaultToleranceHoldsOverSeeds) {
+  const PropertyResult result = forAllSeeds(4, checkSweepFaultTolerance);
+  EXPECT_TRUE(result.ok) << result.report("sweep/fault-tolerance");
+  EXPECT_EQ(result.seeds_checked, 4);
+}
+
+}  // namespace
+}  // namespace tevot::check

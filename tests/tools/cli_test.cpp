@@ -1,0 +1,171 @@
+// End-to-end subprocess tests for tevot_cli: the exit-code taxonomy
+// (0 ok / 1 runtime / 2 usage / 3 check failure), path + errno text
+// in I/O error messages, and the sweep command's checkpoint, resume,
+// and fault-injection behavior as a user would drive them from a
+// shell. The binary path is compiled in via TEVOT_CLI_BINARY.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Runs `tevot_cli <args>` with `env` prefixed (e.g. "TEVOT_FAULTS=...")
+/// and captures combined output.
+RunResult runCli(const std::string& args, const std::string& env = {}) {
+  const std::string command =
+      "env " + (env.empty() ? std::string() : env + " ") + "'" +
+      TEVOT_CLI_BINARY + "' " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    result.output = "popen failed";
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string scratchDir(const std::string& name) {
+  const std::string dir =
+      testing::TempDir() + "tevot_cli_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::size_t countTraceFiles(const std::string& dir) {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".trace") ++n;
+  }
+  return n;
+}
+
+TEST(CliTest, NoArgumentsIsUsageError) {
+  const RunResult result = runCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+  EXPECT_NE(result.output.find("exit codes:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandIsUsageError) {
+  EXPECT_EQ(runCli("frobnicate").exit_code, 2);
+}
+
+TEST(CliTest, BadFuNameIsUsageError) {
+  EXPECT_EQ(runCli("sta bogus_fu 0.9 50").exit_code, 2);
+  EXPECT_EQ(runCli("sweep bogus_fu 20").exit_code, 2);
+}
+
+TEST(CliTest, SweepFlagValidationIsUsageError) {
+  EXPECT_EQ(runCli("sweep int_add 20 --grid nonsense").exit_code, 2);
+  EXPECT_EQ(runCli("sweep int_add 20 --max-retries -3").exit_code, 2);
+  const RunResult resume = runCli("sweep int_add 20 --resume");
+  EXPECT_EQ(resume.exit_code, 2);
+  EXPECT_NE(resume.output.find("--resume requires --out"),
+            std::string::npos);
+}
+
+TEST(CliTest, MissingModelFileIsRuntimeErrorWithPathAndErrno) {
+  const std::string path = testing::TempDir() + "no_such_model.bin";
+  const RunResult result =
+      runCli("predict '" + path + "' 0.9 50 1 2 3 4");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find(path), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("No such file"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliTest, UnwritableOutputIsRuntimeError) {
+  // /dev/null/x can never be created: runtime failure, not usage.
+  const RunResult result = runCli("export-verilog int_add /dev/null/x.v");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("/dev/null/x.v"), std::string::npos);
+}
+
+TEST(CliTest, SweepWritesCheckpointsAndResumeRestores) {
+  const std::string dir = scratchDir("resume");
+  const std::string base =
+      "sweep int_add 20 --grid 2x2 --seed 9 --out '" + dir + "'";
+  const RunResult first = runCli(base);
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_EQ(countTraceFiles(dir), 4u);
+  EXPECT_NE(first.output.find("4 ok, 0 restored"), std::string::npos)
+      << first.output;
+
+  const RunResult second = runCli(base + " --resume");
+  EXPECT_EQ(second.exit_code, 0) << second.output;
+  EXPECT_NE(second.output.find("0 ok, 4 restored"), std::string::npos)
+      << second.output;
+  EXPECT_EQ(countTraceFiles(dir), 4u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTest, FaultInjectedSweepRecoversViaRetries) {
+  // Every job fails its first attempt (rate=1, transient); with two
+  // retries the sweep must converge and exit 0, reporting the retries.
+  const std::string dir = scratchDir("faults");
+  const RunResult result = runCli(
+      "sweep int_add 20 --grid 2x2 --out '" + dir +
+          "' --max-retries 2 --backoff-ms 0.1",
+      "TEVOT_FAULTS='points=job.exception;rate=1.0;seed=5;attempts=1'");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("faults armed:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("4 retried"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(countTraceFiles(dir), 4u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTest, PermanentFaultsFailTheSweepWithReport) {
+  const std::string report = testing::TempDir() + "tevot_cli_report.txt";
+  std::filesystem::remove(report);
+  const RunResult result = runCli(
+      "sweep int_add 20 --grid 2x2 --max-retries 1 --backoff-ms 0.1 "
+      "--report '" + report + "'",
+      "TEVOT_FAULTS='points=job.exception;rate=1.0;seed=5;attempts=99'");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("4 failed"), std::string::npos)
+      << result.output;
+  ASSERT_TRUE(std::filesystem::exists(report));
+  std::filesystem::remove(report);
+}
+
+TEST(CliTest, BadFaultSpecIsRuntimeError) {
+  const RunResult result =
+      runCli("sweep int_add 20", "TEVOT_FAULTS='bogus-key=1'");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("fault spec"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliTest, ForcedCheckFailureExitsWithCheckCode) {
+  // TEVOT_CHECK_FORCE_FAIL plants an always-failing property, proving
+  // end to end that oracle violations exit 3, not 1.
+  const RunResult result =
+      runCli("check 1", "TEVOT_CHECK_FORCE_FAIL=1");
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("forced failure"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("reproduce:"), std::string::npos)
+      << result.output;
+}
+
+}  // namespace

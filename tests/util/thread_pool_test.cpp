@@ -63,6 +63,64 @@ TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
   EXPECT_EQ(done.load(), 10u);
 }
 
+TEST(ThreadPoolTest, SingleThrowPreservesExceptionType) {
+  // One failing body: the original exception reaches the caller
+  // unchanged, not wrapped in ParallelForError.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(50,
+                                [](std::size_t i) {
+                                  if (i == 7) {
+                                    throw std::out_of_range("index 7");
+                                  }
+                                }),
+               std::out_of_range);
+}
+
+TEST(ThreadPoolTest, TwoConcurrentThrowersAreBothSurfaced) {
+  // Regression: both bodies are in flight when the first throws; the
+  // second must still be drained and its exception captured, not
+  // dropped. A spin barrier guarantees the overlap.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  try {
+    pool.parallelFor(2, [&](std::size_t i) {
+      ++arrived;
+      while (arrived.load() < 2) std::this_thread::yield();
+      throw std::runtime_error(i == 0 ? "first boom" : "second boom");
+    });
+    FAIL() << "parallelFor did not throw";
+  } catch (const ParallelForError& error) {
+    ASSERT_EQ(error.exceptions().size(), 2u);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("first boom"), std::string::npos) << what;
+    EXPECT_NE(what.find("second boom"), std::string::npos) << what;
+    for (const std::exception_ptr& nested : error.exceptions()) {
+      EXPECT_THROW(std::rethrow_exception(nested), std::runtime_error);
+    }
+  }
+  // The pool must remain usable after a multi-failure run.
+  std::atomic<std::size_t> done{0};
+  pool.parallelFor(8, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 8u);
+}
+
+TEST(ThreadPoolTest, FailureDrainsInFlightButSkipsUnclaimed) {
+  // A 1-thread pool claims indices in order, so the cutoff is exact:
+  // indices before the throwing one ran, indices after were never
+  // claimed once the loop was poisoned.
+  ThreadPool pool(1);
+  std::vector<int> ran(10, 0);
+  EXPECT_THROW(pool.parallelFor(10,
+                                [&](std::size_t i) {
+                                  ran[i] = 1;
+                                  if (i == 3) {
+                                    throw std::runtime_error("stop");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 1, 0, 0, 0, 0, 0, 0}));
+}
+
 TEST(ThreadPoolTest, ReusableAcrossManyRuns) {
   ThreadPool pool(3);
   for (int round = 0; round < 50; ++round) {

@@ -12,6 +12,9 @@
 //   tevot_cli predict <model-file> <V> <T> <a> <b> <prev_a> <prev_b>
 //                     [tclk_ps]
 //   tevot_cli check [n-seeds] [--seed S]
+//   tevot_cli sweep <fu> <cycles-per-corner> [--out DIR] [--grid NVxNT]
+//             [--seed S] [--resume] [--max-retries N] [--backoff-ms MS]
+//             [--job-deadline MS] [--fail-fast] [--report FILE]
 //
 // FU names: int_add, int_mul, fp_add, fp_mul. Numeric operands accept
 // 0x-prefixed hex. `train` uses the Fig. 3 3x3 corner subset with
@@ -22,22 +25,37 @@
 // violation, printing the exact seed so
 // `tevot_cli check 1 --seed S` reproduces it.
 //
+// `sweep` runs the resilient corner-sweep engine (dta::runSweep) over
+// an NVxNT (V,T) grid: failing corners are recorded in the sweep
+// report instead of killing the run, each completed corner is
+// checkpointed atomically into --out, and --resume restores completed
+// corners from disk. The TEVOT_FAULTS environment spec arms
+// deterministic fault injection (see util/fault_injection.hpp).
+//
 // The global `--jobs N` option (or TEVOT_JOBS) sets the worker count
-// for the parallel commands (`train`); N=0 means one job per hardware
-// thread. Results are bit-identical for every N.
+// for the parallel commands (`train`, `sweep`); N=0 means one job per
+// hardware thread. Results are bit-identical for every N.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O error, failed sweep
+// jobs), 2 usage error, 3 check/oracle violation.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <cerrno>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/env.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 #include "check/oracles.hpp"
 #include "check/property.hpp"
+#include "check/sweep_oracle.hpp"
+#include "dta/sweep.hpp"
 #include "liberty/lib_format.hpp"
 #include "netlist/verilog.hpp"
 #include "sdf/sdf.hpp"
@@ -47,6 +65,13 @@
 namespace {
 
 using namespace tevot;
+
+// Exit-code taxonomy, so scripts and CI can tell a misspelled command
+// from a crashed run from a failed oracle.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitCheckFailed = 3;
 
 int usage() {
   std::fprintf(stderr,
@@ -61,10 +86,16 @@ int usage() {
                "  predict <model-file> <V> <T> <a> <b> <prev_a> <prev_b> "
                "[tclk_ps]\n"
                "  check [n-seeds] [--seed S]\n"
+               "  sweep <fu> <cycles-per-corner> [--out DIR] [--grid NVxNT]\n"
+               "        [--seed S] [--resume] [--max-retries N] "
+               "[--backoff-ms MS]\n"
+               "        [--job-deadline MS] [--fail-fast] [--report FILE]\n"
                "fu: int_add | int_mul | fp_add | fp_mul\n"
                "--jobs N: worker threads for parallel commands "
-               "(0 = hardware threads)\n");
-  return 2;
+               "(0 = hardware threads)\n"
+               "exit codes: 0 ok, 1 runtime failure, 2 usage, "
+               "3 check failure\n");
+  return kExitUsage;
 }
 
 bool fuFromName(const std::string& name, circuits::FuKind& kind) {
@@ -153,8 +184,9 @@ int cmdCharacterize(const std::string& fu, double v, double t,
   if (csv_path != nullptr) {
     std::ofstream csv(csv_path);
     if (!csv) {
-      std::fprintf(stderr, "cannot open %s\n", csv_path);
-      return 1;
+      std::fprintf(stderr, "cannot open %s: %s\n", csv_path,
+                   std::strerror(errno));
+      return kExitRuntime;
     }
     csv << "cycle,a,b,prev_a,prev_b,delay_ps\n";
     for (std::size_t i = 0; i < trace.samples.size(); ++i) {
@@ -244,6 +276,16 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
         });
   }
   properties.emplace_back("model-round-trip", check::checkModelRoundTrip);
+  properties.emplace_back("sweep/fault-tolerance",
+                          check::checkSweepFaultTolerance);
+  if (util::envFlag("TEVOT_CHECK_FORCE_FAIL")) {
+    // Internal self-test knob: a property that always fails, so the
+    // exit-code taxonomy (3 = check failure) can be tested end to end.
+    properties.emplace_back("self-test/forced-failure",
+                            [](std::uint64_t, util::Rng&) {
+                              check::expect(false, "forced failure");
+                            });
+  }
 
   bool ok = true;
   for (const auto& [name, property] : properties) {
@@ -256,7 +298,126 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
       ok = false;
     }
   }
-  return ok ? 0 : 1;
+  return ok ? kExitOk : kExitCheckFailed;
+}
+
+/// "0.85 V, 25 C" -> "0v85_25c" — the per-corner checkpoint key stem.
+std::string cornerSlug(const liberty::Corner& corner) {
+  const int centivolts = static_cast<int>(corner.voltage * 100.0 + 0.5);
+  const int degrees = static_cast<int>(corner.temperature + 0.5);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%dv%02d_%dc", centivolts / 100,
+                centivolts % 100, degrees);
+  return buf;
+}
+
+int cmdSweep(int argc, char** argv, util::ThreadPool& pool) {
+  // Positional: fu, cycles-per-corner. Everything else is flags.
+  std::string fu;
+  long cycles = -1;
+  int grid_v = 3, grid_t = 3;
+  std::uint64_t seed = 7;
+  std::string report_path;
+  dta::SweepOptions options;
+  options.faults = &util::FaultInjector::global();
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sweep: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      const char* v = value("--out");
+      if (v == nullptr) return usage();
+      options.checkpoint_dir = v;
+    } else if (arg == "--grid") {
+      const char* v = value("--grid");
+      if (v == nullptr || std::sscanf(v, "%dx%d", &grid_v, &grid_t) != 2 ||
+          grid_v < 1 || grid_t < 1) {
+        return usage();
+      }
+    } else if (arg == "--seed") {
+      const char* v = value("--seed");
+      if (v == nullptr) return usage();
+      seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--max-retries") {
+      const char* v = value("--max-retries");
+      if (v == nullptr) return usage();
+      options.max_retries = static_cast<int>(std::atol(v));
+      if (options.max_retries < 0) return usage();
+    } else if (arg == "--backoff-ms") {
+      const char* v = value("--backoff-ms");
+      if (v == nullptr) return usage();
+      options.backoff_ms = std::atof(v);
+    } else if (arg == "--job-deadline") {
+      const char* v = value("--job-deadline");
+      if (v == nullptr) return usage();
+      options.job_deadline_ms = std::atof(v);
+    } else if (arg == "--fail-fast") {
+      options.fail_fast = true;
+    } else if (arg == "--report") {
+      const char* v = value("--report");
+      if (v == nullptr) return usage();
+      report_path = v;
+    } else if (fu.empty()) {
+      fu = arg;
+    } else if (cycles < 0) {
+      cycles = std::atol(arg.c_str());
+    } else {
+      return usage();
+    }
+  }
+  circuits::FuKind kind;
+  if (fu.empty() || cycles < 2 || !fuFromName(fu, kind)) return usage();
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "sweep: --resume requires --out\n");
+    return usage();
+  }
+
+  if (options.faults->armed()) {
+    std::printf("faults armed: %s\n",
+                options.faults->plan().spec().c_str());
+  }
+
+  core::FuContext context(kind);
+  const auto corners =
+      core::OperatingGrid::paper().subsampled(grid_v, grid_t);
+  // Workloads are drawn sequentially from one seed, so the job set is
+  // identical across runs — the property --resume depends on.
+  util::Rng rng(seed);
+  std::vector<dta::Workload> workloads;
+  workloads.reserve(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    workloads.push_back(dta::randomWorkloadFor(
+        kind, static_cast<std::size_t>(cycles), rng));
+  }
+  std::vector<dta::CharacterizeJob> jobs;
+  jobs.reserve(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    dta::CharacterizeJob job =
+        context.characterizeJob(corners[c], workloads[c]);
+    job.name = fu + "_" + cornerSlug(corners[c]);
+    jobs.push_back(std::move(job));
+  }
+
+  const dta::SweepResult result = dta::runSweep(jobs, pool, options);
+  std::printf("%s", result.report.toText().c_str());
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::fprintf(stderr, "sweep: cannot open %s: %s\n",
+                   report_path.c_str(), std::strerror(errno));
+      return kExitRuntime;
+    }
+    report << result.report.toText();
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+  return result.report.allOk() ? kExitOk : kExitRuntime;
 }
 
 }  // namespace
@@ -329,9 +490,10 @@ int main(int argc, char** argv) {
       if (parsed && n_seeds > 0) return cmdCheck(n_seeds, base_seed);
       return usage();
     }
+    if (command == "sweep") return cmdSweep(argc, argv, pool);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "tevot_cli: %s\n", error.what());
-    return 1;
+    return kExitRuntime;
   }
   return usage();
 }
