@@ -1,6 +1,7 @@
 #include "check/oracles.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <vector>
 
@@ -51,7 +52,11 @@ Netlist randomNetlist(util::Rng& rng,
   Netlist nl("check_random");
   std::vector<NetId> nets;
   for (int i = 0; i < n_inputs; ++i) {
-    nets.push_back(nl.addInput("i" + std::to_string(i)));
+    // snprintf instead of "i" + std::to_string(i): GCC 12 at -O3 emits
+    // a spurious -Wrestrict for the operator+ expansion.
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "i%d", i);
+    nets.push_back(nl.addInput(buf));
   }
   // All 1..3-input combinational kinds (no constants: they would
   // shrink the reachable logic; the FU oracles cover constant cells).

@@ -1,0 +1,121 @@
+#include "lint/finding.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tevot::lint {
+
+std::string_view severityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool severityFromName(std::string_view name, Severity& severity) {
+  if (name == "info") severity = Severity::kInfo;
+  else if (name == "warning") severity = Severity::kWarning;
+  else if (name == "error") severity = Severity::kError;
+  else return false;
+  return true;
+}
+
+namespace {
+
+std::size_t countSeverity(const std::vector<Finding>& findings,
+                          Severity severity) {
+  std::size_t n = 0;
+  for (const Finding& finding : findings) {
+    if (!finding.waived && finding.severity == severity) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t LintReport::errorCount() const {
+  return countSeverity(findings, Severity::kError);
+}
+
+std::size_t LintReport::warningCount() const {
+  return countSeverity(findings, Severity::kWarning);
+}
+
+std::size_t LintReport::infoCount() const {
+  return countSeverity(findings, Severity::kInfo);
+}
+
+std::size_t LintReport::waivedCount() const {
+  std::size_t n = 0;
+  for (const Finding& finding : findings) {
+    if (finding.waived) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::toText() const {
+  std::ostringstream os;
+  os << "lint " << design << ": " << rules_run.size() << " rules\n";
+  for (const Finding& finding : findings) {
+    os << "  " << finding.rule << " " << severityName(finding.severity)
+       << (finding.waived ? " [waived]" : "") << " " << finding.location
+       << ": " << finding.message << "\n";
+  }
+  os << "  " << errorCount() << " errors, " << warningCount()
+     << " warnings, " << infoCount() << " infos, " << waivedCount()
+     << " waived\n";
+  return os.str();
+}
+
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LintReport::toJson() const {
+  std::ostringstream os;
+  os << "{\n  \"design\": \"" << jsonEscape(design) << "\",\n";
+  os << "  \"rules_run\": [";
+  for (std::size_t i = 0; i < rules_run.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << jsonEscape(rules_run[i]) << '"';
+  }
+  os << "],\n";
+  os << "  \"summary\": {\"errors\": " << errorCount()
+     << ", \"warnings\": " << warningCount() << ", \"infos\": "
+     << infoCount() << ", \"waived\": " << waivedCount() << "},\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& finding = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rule\": \"" << jsonEscape(finding.rule)
+       << "\", \"severity\": \"" << severityName(finding.severity)
+       << "\", \"location\": \"" << jsonEscape(finding.location)
+       << "\", \"waived\": " << (finding.waived ? "true" : "false")
+       << ", \"message\": \"" << jsonEscape(finding.message) << "\"}";
+  }
+  os << (findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+}  // namespace tevot::lint

@@ -1,0 +1,540 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sta/sta.hpp"
+
+namespace tevot::lint {
+
+using netlist::CellKind;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::kNoGate;
+using netlist::NetId;
+using netlist::Netlist;
+
+std::string netLocation(const Netlist& nl, NetId net) {
+  return "net:" + nl.netDisplayName(net);
+}
+
+std::string gateLocation(const Netlist& nl, GateId gate) {
+  return "gate:" + nl.netDisplayName(nl.gate(gate).out);
+}
+
+namespace {
+
+std::string formatPs(double ps) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ps);
+  return buf;
+}
+
+std::string cornerText(const liberty::Corner& corner) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.2f V, %.0f C)", corner.voltage,
+                corner.temperature);
+  return buf;
+}
+
+void emit(std::vector<Finding>& findings, std::string location,
+          std::string message) {
+  findings.push_back(
+      Finding{{}, Severity::kWarning, std::move(location),
+              std::move(message), false});
+}
+
+/// Cell kinds instantiated by at least one gate of the netlist,
+/// constants excluded (they carry no timing arc).
+std::vector<CellKind> usedLogicKinds(const Netlist& nl) {
+  const std::vector<std::size_t> counts = nl.kindCounts();
+  std::vector<CellKind> kinds;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    const CellKind kind = static_cast<CellKind>(k);
+    if (counts[k] > 0 && netlist::cellFanin(kind) > 0) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+/// Marks every gate lying on some path to a primary output.
+std::vector<bool> reachableFromOutputs(const Netlist& nl) {
+  std::vector<bool> net_seen(nl.netCount(), false);
+  std::vector<bool> gate_reached(nl.gateCount(), false);
+  std::vector<NetId> stack(nl.outputs().begin(), nl.outputs().end());
+  while (!stack.empty()) {
+    const NetId net = stack.back();
+    stack.pop_back();
+    if (net_seen[net]) continue;
+    net_seen[net] = true;
+    const GateId driver = nl.net(net).driver;
+    if (driver == kNoGate) continue;
+    gate_reached[driver] = true;
+    const Gate& gate = nl.gate(driver);
+    for (int i = 0; i < gate.fanin; ++i) stack.push_back(gate.in[i]);
+  }
+  return gate_reached;
+}
+
+// ---- NLxxx structural rules ---------------------------------------
+
+void ruleDanglingNet(const LintContext& ctx, std::vector<Finding>& out) {
+  const Netlist& nl = *ctx.netlist;
+  std::unordered_set<NetId> output_nets(nl.outputs().begin(),
+                                        nl.outputs().end());
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    const NetId net = nl.gate(g).out;
+    if (nl.fanout(net).empty() && output_nets.count(net) == 0) {
+      emit(out, gateLocation(nl, g),
+           std::string(netlist::cellName(nl.gate(g).kind)) +
+               " output drives no gate and is not a primary output");
+    }
+  }
+}
+
+void ruleUnusedInput(const LintContext& ctx, std::vector<Finding>& out) {
+  const Netlist& nl = *ctx.netlist;
+  std::unordered_set<NetId> output_nets(nl.outputs().begin(),
+                                        nl.outputs().end());
+  for (const NetId in : nl.inputs()) {
+    if (nl.fanout(in).empty() && output_nets.count(in) == 0) {
+      emit(out, netLocation(nl, in),
+           "primary input feeds no gate and no primary output");
+    }
+  }
+}
+
+void ruleConstFoldable(const LintContext& ctx, std::vector<Finding>& out) {
+  const Netlist& nl = *ctx.netlist;
+  // known[net] in {-1 unknown, 0, 1}; only direct const-gate outputs
+  // count — the rule flags gates foldable in ONE step, so each round
+  // of "fix, re-lint" peels one layer of a constant cone.
+  std::vector<int> known(nl.netCount(), -1);
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == CellKind::kConst0) known[gate.out] = 0;
+    if (gate.kind == CellKind::kConst1) known[gate.out] = 1;
+  }
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.fanin == 0) continue;
+    bool any_const = false;
+    for (int i = 0; i < gate.fanin; ++i) {
+      any_const = any_const || known[gate.in[i]] != -1;
+    }
+    if (!any_const) continue;
+    // The gate folds when its output is invariant over every
+    // assignment of the non-constant inputs.
+    int folded = -1;
+    bool constant = true;
+    const int free_combos = 1 << gate.fanin;
+    for (int combo = 0; combo < free_combos && constant; ++combo) {
+      bool in[3] = {false, false, false};
+      bool skip = false;
+      for (int i = 0; i < gate.fanin; ++i) {
+        const bool bit = ((combo >> i) & 1) != 0;
+        if (known[gate.in[i]] != -1 &&
+            bit != (known[gate.in[i]] == 1)) {
+          skip = true;  // contradicts the known constant value
+          break;
+        }
+        in[i] = bit;
+      }
+      if (skip) continue;
+      const int value = netlist::evalCell(gate.kind, in[0], in[1], in[2]);
+      if (folded == -1) folded = value;
+      constant = folded == value;
+    }
+    if (constant && folded != -1) {
+      emit(out, gateLocation(nl, g),
+           std::string(netlist::cellName(gate.kind)) +
+               " with constant input(s) always evaluates to " +
+               std::to_string(folded) + "; fold to a constant net");
+    }
+  }
+}
+
+void ruleDuplicateGate(const LintContext& ctx, std::vector<Finding>& out) {
+  const Netlist& nl = *ctx.netlist;
+  auto commutative = [](CellKind kind) {
+    switch (kind) {
+      case CellKind::kAnd2: case CellKind::kOr2: case CellKind::kNand2:
+      case CellKind::kNor2: case CellKind::kXor2: case CellKind::kXnor2:
+      case CellKind::kAnd3: case CellKind::kOr3: case CellKind::kNand3:
+      case CellKind::kNor3: case CellKind::kXor3: case CellKind::kMaj3:
+        return true;
+      default:
+        return false;
+    }
+  };
+  struct Key {
+    CellKind kind;
+    NetId in[3];
+    bool operator==(const Key& other) const {
+      return kind == other.kind && in[0] == other.in[0] &&
+             in[1] == other.in[1] && in[2] == other.in[2];
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::uint64_t x = static_cast<std::uint64_t>(key.kind);
+      for (const NetId net : key.in) {
+        x = (x ^ net) * 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 30;
+      }
+      return static_cast<std::size_t>(x);
+    }
+  };
+  std::unordered_map<Key, GateId, KeyHash> seen;
+  seen.reserve(nl.gateCount());
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.fanin == 0) continue;  // consts are deduplicated already
+    Key key{gate.kind, {gate.in[0], gate.in[1], gate.in[2]}};
+    if (commutative(gate.kind)) {
+      // Tiny sorting network (fanin is 2 or 3), canonicalizing the
+      // operand order of symmetric cells.
+      auto swapIf = [](NetId& x, NetId& y) {
+        if (y < x) std::swap(x, y);
+      };
+      swapIf(key.in[0], key.in[1]);
+      if (gate.fanin == 3) {
+        swapIf(key.in[1], key.in[2]);
+        swapIf(key.in[0], key.in[1]);
+      }
+    }
+    const auto [it, inserted] = seen.emplace(key, g);
+    if (!inserted) {
+      emit(out, gateLocation(nl, g),
+           std::string(netlist::cellName(gate.kind)) +
+               " computes the same function of the same nets as " +
+               gateLocation(nl, it->second).substr(5) +
+               "; share one instance");
+    }
+  }
+}
+
+void ruleBufferChain(const LintContext& ctx, std::vector<Finding>& out) {
+  const Netlist& nl = *ctx.netlist;
+  std::unordered_set<NetId> output_nets(nl.outputs().begin(),
+                                        nl.outputs().end());
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind != CellKind::kBuf && gate.kind != CellKind::kInv) continue;
+    const NetId mid = gate.in[0];
+    const GateId driver = nl.net(mid).driver;
+    if (driver == kNoGate || nl.gate(driver).kind != gate.kind) continue;
+    // Only collapsible when the intermediate net serves nothing else.
+    if (nl.fanout(mid).size() != 1 || output_nets.count(mid) != 0) continue;
+    emit(out, gateLocation(nl, g),
+         gate.kind == CellKind::kBuf
+             ? "BUF fed by a single-fanout BUF; collapse the chain"
+             : "INV fed by a single-fanout INV; the pair cancels out");
+  }
+}
+
+void ruleUnreachableGate(const LintContext& ctx,
+                         std::vector<Finding>& out) {
+  const Netlist& nl = *ctx.netlist;
+  const std::vector<bool> reached = reachableFromOutputs(nl);
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    if (!reached[g]) {
+      emit(out, gateLocation(nl, g),
+           std::string(netlist::cellName(nl.gate(g).kind)) +
+               " lies in no primary-output cone");
+    }
+  }
+}
+
+// ---- XAxxx cross-artifact rules -----------------------------------
+
+void ruleLibertyCoverage(const LintContext& ctx,
+                         std::vector<Finding>& out) {
+  if (ctx.library == nullptr || ctx.vt_model == nullptr ||
+      ctx.corners.empty()) {
+    return;
+  }
+  const Netlist& nl = *ctx.netlist;
+  for (const CellKind kind : usedLogicKinds(nl)) {
+    const std::string location =
+        "cell:" + std::string(netlist::cellName(kind));
+    const liberty::CellTiming& timing = ctx.library->timing(kind);
+    if (timing.intrinsic_rise_ps <= 0.0 &&
+        timing.intrinsic_fall_ps <= 0.0) {
+      emit(out, location,
+           "cell is instantiated but has no Liberty timing arc");
+      continue;
+    }
+    const liberty::CellVtSensitivity& sensitivity =
+        ctx.library->vtSensitivity(kind);
+    for (const liberty::Corner& corner : ctx.corners) {
+      try {
+        const double scale = ctx.vt_model->scaleAdjusted(
+            corner.voltage, corner.temperature, sensitivity.alpha_delta,
+            sensitivity.mobility_delta);
+        if (!std::isfinite(scale) || scale <= 0.0) {
+          emit(out, location,
+               "V/T scale factor at " + cornerText(corner) +
+                   " is not a positive finite number");
+        }
+      } catch (const std::domain_error&) {
+        emit(out, location,
+             "corner " + cornerText(corner) +
+                 " is infeasible for this cell (V does not exceed Vth)");
+      }
+    }
+  }
+}
+
+void ruleSdfCoverage(const LintContext& ctx, std::vector<Finding>& out) {
+  if (ctx.sdf_delays == nullptr) return;
+  const Netlist& nl = *ctx.netlist;
+  const liberty::CornerDelays& sdf = *ctx.sdf_delays;
+  if (sdf.gateCount() != nl.gateCount() ||
+      sdf.fall_ps.size() != nl.gateCount()) {
+    emit(out, "-",
+         "SDF annotates " + std::to_string(sdf.gateCount()) +
+             " gates but the netlist has " +
+             std::to_string(nl.gateCount()));
+    return;
+  }
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    const double rise = sdf.rise_ps[g];
+    const double fall = sdf.fall_ps[g];
+    if (!std::isfinite(rise) || !std::isfinite(fall) || rise < 0.0 ||
+        fall < 0.0) {
+      emit(out, gateLocation(nl, g),
+           "timing arc is unannotated or invalid (rise " + formatPs(rise) +
+               " ps, fall " + formatPs(fall) + " ps)");
+    }
+  }
+}
+
+void ruleSdfVsLiberty(const LintContext& ctx, std::vector<Finding>& out) {
+  if (ctx.sdf_delays == nullptr || ctx.library == nullptr ||
+      ctx.vt_model == nullptr) {
+    return;
+  }
+  const Netlist& nl = *ctx.netlist;
+  const liberty::CornerDelays& sdf = *ctx.sdf_delays;
+  if (sdf.gateCount() != nl.gateCount()) return;  // XA002's finding
+  const liberty::CornerDelays ref = liberty::annotateCorner(
+      nl, *ctx.library, *ctx.vt_model, sdf.corner);
+  auto check = [&](GateId g, double got, double want, const char* arc) {
+    const double tolerance =
+        ctx.sdf_tolerance_abs_ps + ctx.sdf_tolerance_rel * std::abs(want);
+    if (std::abs(got - want) > tolerance) {
+      emit(out, gateLocation(nl, g),
+           std::string(arc) + " delay disagrees with Liberty at " +
+               cornerText(sdf.corner) + ": SDF " + formatPs(got) +
+               " ps vs Liberty " + formatPs(want) + " ps");
+    }
+  };
+  for (GateId g = 0; g < nl.gateCount(); ++g) {
+    check(g, sdf.rise_ps[g], ref.rise_ps[g], "rise");
+    check(g, sdf.fall_ps[g], ref.fall_ps[g], "fall");
+  }
+}
+
+void ruleVtMonotonicity(const LintContext& ctx,
+                        std::vector<Finding>& out) {
+  if (ctx.vt_model == nullptr || ctx.corners.empty()) return;
+  std::vector<double> voltages;
+  std::vector<double> temperatures;
+  for (const liberty::Corner& corner : ctx.corners) {
+    voltages.push_back(corner.voltage);
+    temperatures.push_back(corner.temperature);
+  }
+  auto uniqueSorted = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  uniqueSorted(voltages);
+  uniqueSorted(temperatures);
+  // Raising supply voltage must never slow a cell down — temperature
+  // is allowed to flip sign (that is the paper's inverse temperature
+  // dependence), voltage is not.
+  constexpr double kSlack = 1e-9;
+  struct Subject {
+    std::string location;
+    double alpha_delta;
+    double mobility_delta;
+  };
+  std::vector<Subject> subjects = {{"vtmodel", 0.0, 0.0}};
+  if (ctx.library != nullptr) {
+    for (const CellKind kind : usedLogicKinds(*ctx.netlist)) {
+      const liberty::CellVtSensitivity& s = ctx.library->vtSensitivity(kind);
+      subjects.push_back({"cell:" + std::string(netlist::cellName(kind)),
+                          s.alpha_delta, s.mobility_delta});
+    }
+  }
+  for (const Subject& subject : subjects) {
+    for (const double t : temperatures) {
+      double prev_scale = 0.0;
+      double prev_v = 0.0;
+      bool have_prev = false;
+      for (const double v : voltages) {
+        double scale = 0.0;
+        try {
+          scale = ctx.vt_model->scaleAdjusted(
+              v, t, subject.alpha_delta, subject.mobility_delta);
+        } catch (const std::domain_error&) {
+          continue;  // infeasible corner; XA001 reports it
+        }
+        if (have_prev && scale > prev_scale * (1.0 + kSlack)) {
+          char msg[160];
+          std::snprintf(msg, sizeof(msg),
+                        "delay scale increases with voltage at %.0f C: "
+                        "%.6f@%.2fV -> %.6f@%.2fV",
+                        t, prev_scale, prev_v, scale, v);
+          emit(out, subject.location, msg);
+        }
+        prev_scale = scale;
+        prev_v = v;
+        have_prev = true;
+      }
+    }
+  }
+}
+
+// ---- STxxx static-timing rules ------------------------------------
+
+void ruleCriticalPathReport(const LintContext& ctx,
+                            std::vector<Finding>& out) {
+  if (ctx.library == nullptr || ctx.vt_model == nullptr) return;
+  const Netlist& nl = *ctx.netlist;
+  const liberty::Corner nominal{ctx.vt_model->params().vnom,
+                               ctx.vt_model->params().tnom_c};
+  const liberty::CornerDelays delays =
+      liberty::annotateCorner(nl, *ctx.library, *ctx.vt_model, nominal);
+  const sta::StaResult sta = sta::analyze(nl, delays);
+  const std::vector<int> levels = nl.gateLevels();
+  for (const NetId net : nl.outputs()) {
+    const GateId driver = nl.net(net).driver;
+    const int depth = driver == kNoGate ? 0 : levels[driver];
+    emit(out, netLocation(nl, net),
+         "critical-path arrival " + formatPs(sta.arrival_ps[net]) +
+             " ps, depth " + std::to_string(depth) + " levels at " +
+             cornerText(nominal));
+  }
+}
+
+void ruleClockBudget(const LintContext& ctx, std::vector<Finding>& out) {
+  if (ctx.library == nullptr || ctx.vt_model == nullptr ||
+      ctx.clock_budget_ps <= 0.0) {
+    return;
+  }
+  const Netlist& nl = *ctx.netlist;
+  std::vector<liberty::Corner> corners = ctx.corners;
+  if (corners.empty()) {
+    corners.push_back({ctx.vt_model->params().vnom,
+                       ctx.vt_model->params().tnom_c});
+  }
+  // Worst arrival per output over every context corner: a budget must
+  // hold at the slowest corner, not just at nominal.
+  std::vector<double> worst(nl.outputs().size(), 0.0);
+  std::vector<liberty::Corner> worst_corner(nl.outputs().size());
+  for (const liberty::Corner& corner : corners) {
+    const liberty::CornerDelays delays =
+        liberty::annotateCorner(nl, *ctx.library, *ctx.vt_model, corner);
+    const sta::StaResult sta = sta::analyze(nl, delays);
+    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+      const double arrival = sta.arrival_ps[nl.outputs()[i]];
+      if (arrival > worst[i]) {
+        worst[i] = arrival;
+        worst_corner[i] = corner;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    if (worst[i] > ctx.clock_budget_ps) {
+      emit(out, netLocation(nl, nl.outputs()[i]),
+           "critical-path arrival " + formatPs(worst[i]) + " ps at " +
+               cornerText(worst_corner[i]) + " exceeds the " +
+               formatPs(ctx.clock_budget_ps) + " ps clock budget");
+    }
+  }
+}
+
+const std::vector<Rule>& ruleCatalog() {
+  static const std::vector<Rule> rules = {
+      {"NL001", Severity::kWarning, "dangling driven net",
+       ruleDanglingNet},
+      {"NL002", Severity::kWarning, "unused primary input",
+       ruleUnusedInput},
+      {"NL003", Severity::kWarning, "constant-foldable gate",
+       ruleConstFoldable},
+      {"NL004", Severity::kInfo, "structurally duplicate gate",
+       ruleDuplicateGate},
+      {"NL005", Severity::kInfo, "collapsible buffer/inverter chain",
+       ruleBufferChain},
+      {"NL006", Severity::kWarning, "gate unreachable from outputs",
+       ruleUnreachableGate},
+      {"XA001", Severity::kError, "Liberty corner coverage",
+       ruleLibertyCoverage},
+      {"XA002", Severity::kError, "SDF timing-arc coverage",
+       ruleSdfCoverage},
+      {"XA003", Severity::kError, "SDF vs Liberty delay agreement",
+       ruleSdfVsLiberty},
+      {"XA004", Severity::kError, "V/T delay-scale voltage monotonicity",
+       ruleVtMonotonicity},
+      {"ST001", Severity::kInfo, "per-output critical-path report",
+       ruleCriticalPathReport},
+      {"ST002", Severity::kError, "clock-budget violation",
+       ruleClockBudget},
+  };
+  return rules;
+}
+
+}  // namespace
+
+std::span<const Rule> builtinRules() { return ruleCatalog(); }
+
+const Rule* findRule(std::string_view id) {
+  for (const Rule& rule : ruleCatalog()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+LintReport runLint(const LintContext& ctx, WaiverSet* waivers) {
+  if (ctx.netlist == nullptr) {
+    throw std::invalid_argument("runLint: LintContext has no netlist");
+  }
+  LintReport report;
+  report.design = ctx.netlist->name();
+  for (const Rule& rule : builtinRules()) {
+    report.rules_run.push_back(rule.id);
+    std::vector<Finding> findings;
+    try {
+      rule.run(ctx, findings);
+      for (Finding& finding : findings) {
+        finding.rule = rule.id;
+        finding.severity = rule.severity;
+      }
+    } catch (const std::exception& error) {
+      findings.push_back(Finding{rule.id, Severity::kError, "-",
+                                 std::string("rule failed: ") + error.what(),
+                                 false});
+    }
+    for (Finding& finding : findings) {
+      if (waivers != nullptr) finding.waived = waivers->matches(finding);
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  if (waivers != nullptr) {
+    for (const Waiver& waiver : waivers->unused()) {
+      report.findings.push_back(Finding{
+          "WV001", Severity::kInfo, waiver.rule + " " + waiver.pattern,
+          "waiver (line " + std::to_string(waiver.line) +
+              ") matched no finding; remove it",
+          false});
+    }
+  }
+  return report;
+}
+
+}  // namespace tevot::lint

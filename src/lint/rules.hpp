@@ -1,0 +1,87 @@
+// Rule-based static analysis over a netlist and its timing artifacts.
+//
+// This is the repo's analogue of the lint/STA-signoff checks a
+// commercial flow (Verilator lint, PrimeTime consistency checks) runs
+// before trusting a netlist + .lib + SDF triple: the TEVoT pipeline
+// silently assumes these artifacts are mutually consistent, and these
+// rules prove it statically before any simulation cycle is spent.
+//
+// Three rule families (catalog in DESIGN.md §5d):
+//   NLxxx  structural netlist checks (dangling nets, unused inputs,
+//          constant-foldable logic, duplicate gates, buffer chains,
+//          unreachable gates)
+//   XAxxx  cross-artifact consistency (Liberty coverage per corner,
+//          SDF arc coverage, SDF-vs-Liberty agreement, V/T-model
+//          voltage monotonicity)
+//   STxxx  static-timing reports (per-output critical-path arrivals,
+//          clock-budget violations)
+//
+// Rules run independently over a shared read-only LintContext; a rule
+// that throws is converted into an error finding on that rule rather
+// than aborting the run. Artifacts absent from the context make the
+// rules needing them no-ops, so `runLint` degrades gracefully from a
+// full artifact triple down to a bare netlist.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "liberty/cell_library.hpp"
+#include "liberty/corner.hpp"
+#include "liberty/vt_model.hpp"
+#include "lint/finding.hpp"
+#include "lint/waiver.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tevot::lint {
+
+/// Read-only inputs of one lint run. Only `netlist` is mandatory.
+struct LintContext {
+  const netlist::Netlist* netlist = nullptr;
+
+  // Cross-artifact inputs (optional).
+  const liberty::CellLibrary* library = nullptr;
+  const liberty::VtModel* vt_model = nullptr;
+  /// Operating corners the artifacts must cover; XA001/XA004 check
+  /// every one of these.
+  std::vector<liberty::Corner> corners;
+  /// Back-annotated delays parsed from an SDF file; XA002/XA003 check
+  /// them against the netlist and the Liberty-derived delays.
+  const liberty::CornerDelays* sdf_delays = nullptr;
+
+  /// XA003: |sdf - liberty| must be within abs + rel * |liberty| [ps].
+  double sdf_tolerance_abs_ps = 1e-3;
+  double sdf_tolerance_rel = 1e-6;
+
+  /// ST002: flag outputs whose critical-path arrival exceeds this
+  /// budget [ps] at the slowest context corner; 0 disables the check.
+  double clock_budget_ps = 0.0;
+};
+
+/// One registered rule. `run` appends findings; it must not mutate
+/// anything reachable from the context.
+struct Rule {
+  std::string id;
+  Severity severity = Severity::kWarning;
+  std::string title;
+  std::function<void(const LintContext&, std::vector<Finding>&)> run;
+};
+
+/// The built-in rule catalog, in rule-ID order.
+std::span<const Rule> builtinRules();
+
+/// Looks up a built-in rule by ID; nullptr when unknown.
+const Rule* findRule(std::string_view id);
+
+/// Runs every built-in rule over `ctx`, applies `waivers` (when given)
+/// to the findings, and appends a WV001 info finding per unused
+/// waiver. Throws std::invalid_argument when ctx.netlist is null.
+LintReport runLint(const LintContext& ctx, WaiverSet* waivers = nullptr);
+
+/// Canonical location strings used by rules and waiver files.
+std::string netLocation(const netlist::Netlist& nl, netlist::NetId net);
+std::string gateLocation(const netlist::Netlist& nl, netlist::GateId gate);
+
+}  // namespace tevot::lint

@@ -1,6 +1,7 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,9 +9,57 @@
 
 namespace tevot::netlist {
 
+Netlist::Netlist(const Netlist& other)
+    : name_(other.name_),
+      nets_(other.nets_),
+      gates_(other.gates_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_),
+      const0_(other.const0_),
+      const1_(other.const1_) {}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  nets_ = other.nets_;
+  gates_ = other.gates_;
+  inputs_ = other.inputs_;
+  outputs_ = other.outputs_;
+  const0_ = other.const0_;
+  const1_ = other.const1_;
+  fanout_offsets_.clear();
+  fanout_gates_.clear();
+  fanout_dirty_.store(true, std::memory_order_release);
+  return *this;
+}
+
+Netlist::Netlist(Netlist&& other) noexcept
+    : name_(std::move(other.name_)),
+      nets_(std::move(other.nets_)),
+      gates_(std::move(other.gates_)),
+      inputs_(std::move(other.inputs_)),
+      outputs_(std::move(other.outputs_)),
+      const0_(other.const0_),
+      const1_(other.const1_) {}
+
+Netlist& Netlist::operator=(Netlist&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  nets_ = std::move(other.nets_);
+  gates_ = std::move(other.gates_);
+  inputs_ = std::move(other.inputs_);
+  outputs_ = std::move(other.outputs_);
+  const0_ = other.const0_;
+  const1_ = other.const1_;
+  fanout_offsets_.clear();
+  fanout_gates_.clear();
+  fanout_dirty_.store(true, std::memory_order_release);
+  return *this;
+}
+
 NetId Netlist::newNet(std::string name) {
   nets_.push_back(Net{kNoGate, std::move(name)});
-  fanout_dirty_ = true;
+  fanout_dirty_.store(true, std::memory_order_release);
   return static_cast<NetId>(nets_.size() - 1);
 }
 
@@ -98,11 +147,20 @@ void Netlist::rebuildFanout() const {
       fanout_gates_[cursor[gate.in[i]]++] = g;
     }
   }
-  fanout_dirty_ = false;
 }
 
 std::span<const GateId> Netlist::fanout(NetId net) const {
-  if (fanout_dirty_) rebuildFanout();
+  // Double-checked rebuild: the release store below pairs with the
+  // acquire load here, so a reader observing the flag clear also
+  // observes the fully built CSR arrays. Racing first callers
+  // serialize on the mutex; the steady state is one atomic load.
+  if (fanout_dirty_.load(std::memory_order_acquire)) {
+    const std::scoped_lock lock(fanout_mutex_);
+    if (fanout_dirty_.load(std::memory_order_relaxed)) {
+      rebuildFanout();
+      fanout_dirty_.store(false, std::memory_order_release);
+    }
+  }
   const std::uint32_t begin = fanout_offsets_[net];
   const std::uint32_t end = fanout_offsets_[net + 1];
   return {fanout_gates_.data() + begin, end - begin};
@@ -111,7 +169,12 @@ std::span<const GateId> Netlist::fanout(NetId net) const {
 std::string Netlist::netDisplayName(NetId net) const {
   const Net& n = nets_.at(net);
   if (!n.name.empty()) return n.name;
-  return "n" + std::to_string(net);
+  // snprintf instead of "n" + to_string(net): GCC 12's -O3 inliner
+  // raises a -Wrestrict false positive on that operator+ chain, which
+  // -Werror builds would reject.
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "n%u", net);
+  return buf;
 }
 
 std::vector<int> Netlist::gateLevels() const {

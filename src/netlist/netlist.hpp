@@ -9,7 +9,9 @@
 // the hot simulation loops work on dense arrays.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,6 +43,14 @@ struct Net {
 class Netlist {
  public:
   explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  // Copies/moves transfer the circuit but not the fanout cache lock;
+  // the destination starts with a dirty cache and its own mutex.
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&& other) noexcept;
+  Netlist& operator=(Netlist&& other) noexcept;
+  ~Netlist() = default;
 
   const std::string& name() const { return name_; }
 
@@ -82,7 +92,10 @@ class Netlist {
   std::span<const NetId> outputs() const { return outputs_; }
   std::span<const Gate> gates() const { return gates_; }
 
-  /// Gates consuming a net (indices into gates()).
+  /// Gates consuming a net (indices into gates()). Thread-safe for
+  /// concurrent readers of a fully constructed netlist: the lazy CSR
+  /// rebuild is guarded, so racing first calls from pool workers each
+  /// see a complete index. (Construction itself is single-threaded.)
   std::span<const GateId> fanout(NetId net) const;
 
   /// Effective display name of a net ("n123" when unnamed).
@@ -126,10 +139,14 @@ class Netlist {
   std::vector<Gate> gates_;
   std::vector<NetId> inputs_;
   std::vector<NetId> outputs_;
-  // CSR-style fanout storage, rebuilt lazily.
+  // CSR-style fanout storage, rebuilt lazily. The dirty flag is an
+  // acquire/release atomic and the rebuild runs under the mutex, so
+  // concurrent first calls to fanout() from pool workers are safe;
+  // mutation (addGate etc.) remains single-threaded by contract.
   mutable std::vector<std::uint32_t> fanout_offsets_;
   mutable std::vector<GateId> fanout_gates_;
-  mutable bool fanout_dirty_ = true;
+  mutable std::atomic<bool> fanout_dirty_{true};
+  mutable std::mutex fanout_mutex_;
   NetId const0_ = kNoNet;
   NetId const1_ = kNoNet;
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 
 #include "netlist/wordbus.hpp"
 #include "util/bitvec.hpp"
@@ -333,8 +334,11 @@ TEST(CompressColumnsTest, ReducesAddendMatrix) {
   Netlist nl("csa");
   std::vector<Bus> addends;
   for (int k = 0; k < 5; ++k) {
-    addends.push_back(
-        netlist::addInputBus(nl, "x" + std::to_string(k), 6));
+    // snprintf dodges a spurious GCC 12 -Wrestrict on the string
+    // operator+ expansion at -O3.
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "x%d", k);
+    addends.push_back(netlist::addInputBus(nl, buf, 6));
   }
   std::vector<std::vector<netlist::NetId>> columns(9);
   for (const Bus& addend : addends) {

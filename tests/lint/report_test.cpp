@@ -1,0 +1,158 @@
+// LintReport aggregation and rendering, and the waiver file format:
+// severity counts with waivers excluded from the verdict, text/JSON
+// renderers (including string escaping), waiver parsing diagnostics,
+// glob matching, and unused-waiver tracking.
+#include "lint/finding.hpp"
+#include "lint/waiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tevot::lint {
+namespace {
+
+Finding makeFinding(const char* rule, Severity severity,
+                    const char* location, bool waived = false) {
+  return Finding{rule, severity, location, "message", waived};
+}
+
+TEST(LintReportTest, CountsExcludeWaivedFindings) {
+  LintReport report;
+  report.design = "d";
+  report.findings.push_back(makeFinding("A1", Severity::kError, "x"));
+  report.findings.push_back(makeFinding("A1", Severity::kError, "y", true));
+  report.findings.push_back(makeFinding("A2", Severity::kWarning, "z"));
+  report.findings.push_back(makeFinding("A3", Severity::kInfo, "w"));
+  EXPECT_EQ(report.errorCount(), 1u);
+  EXPECT_EQ(report.warningCount(), 1u);
+  EXPECT_EQ(report.infoCount(), 1u);
+  EXPECT_EQ(report.waivedCount(), 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(LintReportTest, FullyWaivedReportIsClean) {
+  LintReport report;
+  report.findings.push_back(makeFinding("A1", Severity::kError, "x", true));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.errorCount(), 0u);
+}
+
+TEST(LintReportTest, TextRenderingShowsFindingsAndSummary) {
+  LintReport report;
+  report.design = "adder";
+  report.rules_run = {"NL001", "NL002"};
+  report.findings.push_back(makeFinding("NL001", Severity::kWarning,
+                                        "gate:n7"));
+  report.findings.back().message = "dangling output";
+  report.findings.push_back(makeFinding("NL002", Severity::kError,
+                                        "net:cin", true));
+  const std::string text = report.toText();
+  EXPECT_NE(text.find("lint adder: 2 rules"), std::string::npos) << text;
+  EXPECT_NE(text.find("NL001 warning gate:n7: dangling output"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("[waived]"), std::string::npos) << text;
+  EXPECT_NE(text.find("0 errors, 1 warnings, 0 infos, 1 waived"),
+            std::string::npos) << text;
+}
+
+TEST(LintReportTest, JsonRenderingHasStableShape) {
+  LintReport report;
+  report.design = "adder";
+  report.rules_run = {"NL001"};
+  report.findings.push_back(makeFinding("NL001", Severity::kWarning,
+                                        "gate:n7"));
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"design\": \"adder\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rules_run\": [\"NL001\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"summary\": {\"errors\": 0, \"warnings\": 1, "
+                      "\"infos\": 0, \"waived\": 0}"),
+            std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"waived\": false"), std::string::npos);
+}
+
+TEST(LintReportTest, EmptyFindingsRenderAsEmptyJsonArray) {
+  LintReport report;
+  report.design = "d";
+  EXPECT_NE(report.toJson().find("\"findings\": []"), std::string::npos);
+}
+
+TEST(LintReportTest, JsonEscapesSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string_view("a\x01", 2)), "a\\u0001");
+}
+
+TEST(SeverityTest, NamesRoundTrip) {
+  for (const Severity severity :
+       {Severity::kInfo, Severity::kWarning, Severity::kError}) {
+    Severity parsed;
+    ASSERT_TRUE(severityFromName(severityName(severity), parsed));
+    EXPECT_EQ(parsed, severity);
+  }
+  Severity unused;
+  EXPECT_FALSE(severityFromName("fatal", unused));
+}
+
+TEST(WaiverTest, ParsesRulesPatternsAndComments) {
+  const WaiverSet set = WaiverSet::parseString(
+      "# header comment\n"
+      "\n"
+      "NL004 gate:sum_3\n"
+      "NL005 *            # waive the whole rule\n"
+      "XA003 gate:mul_*   # reviewed 2026-08\n");
+  ASSERT_EQ(set.waivers().size(), 3u);
+  EXPECT_EQ(set.waivers()[0].rule, "NL004");
+  EXPECT_EQ(set.waivers()[0].pattern, "gate:sum_3");
+  EXPECT_EQ(set.waivers()[1].pattern, "*");
+  EXPECT_EQ(set.waivers()[1].comment, "waive the whole rule");
+  EXPECT_EQ(set.waivers()[2].comment, "reviewed 2026-08");
+  EXPECT_EQ(set.waivers()[2].line, 5);
+}
+
+TEST(WaiverTest, MalformedLinesAreRejectedWithLineNumber) {
+  try {
+    WaiverSet::parseString("NL004 a b\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW(WaiverSet::parseString("NL001\n"), std::runtime_error);
+}
+
+TEST(WaiverTest, MissingFileErrorNamesThePath) {
+  try {
+    WaiverSet::parseFile("/no/such/waivers.txt");
+    FAIL() << "expected open failure";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("/no/such/waivers.txt"),
+              std::string::npos);
+  }
+}
+
+TEST(WaiverTest, PatternMatchingIsExactOrTrailingGlob) {
+  EXPECT_TRUE(waiverPatternMatches("gate:n7", "gate:n7"));
+  EXPECT_FALSE(waiverPatternMatches("gate:n7", "gate:n71"));
+  EXPECT_TRUE(waiverPatternMatches("gate:n7*", "gate:n71"));
+  EXPECT_TRUE(waiverPatternMatches("*", "anything"));
+  EXPECT_FALSE(waiverPatternMatches("net:*", "gate:n7"));
+}
+
+TEST(WaiverTest, MatchingMarksUseAndTracksUnused) {
+  WaiverSet set = WaiverSet::parseString(
+      "NL004 gate:a\n"
+      "NL005 *\n");
+  EXPECT_TRUE(
+      set.matches(Finding{"NL004", Severity::kInfo, "gate:a", "", false}));
+  // Wrong rule: the glob waiver is rule-scoped.
+  EXPECT_FALSE(
+      set.matches(Finding{"NL004", Severity::kInfo, "gate:b", "", false}));
+  const std::vector<Waiver> unused = set.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].rule, "NL005");
+}
+
+}  // namespace
+}  // namespace tevot::lint

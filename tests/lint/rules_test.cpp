@@ -1,0 +1,482 @@
+// Per-rule lint tests: every rule gets at least one minimal netlist
+// fixture that triggers it and one clean fixture it must stay silent
+// on, plus engine-level tests (independent rule execution, waiver
+// application, unused-waiver reporting).
+#include "lint/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "liberty/corner.hpp"
+
+namespace tevot::lint {
+namespace {
+
+using liberty::CellLibrary;
+using liberty::Corner;
+using liberty::CornerDelays;
+using liberty::VtModel;
+using liberty::VtParams;
+using netlist::CellKind;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// Findings of one rule over a bare-netlist context.
+std::vector<Finding> findingsOf(const Netlist& nl, const char* rule_id) {
+  LintContext ctx;
+  ctx.netlist = &nl;
+  std::vector<Finding> findings;
+  const Rule* rule = findRule(rule_id);
+  EXPECT_NE(rule, nullptr) << rule_id;
+  rule->run(ctx, findings);
+  return findings;
+}
+
+std::vector<Finding> findingsOf(const LintContext& ctx,
+                                const char* rule_id) {
+  std::vector<Finding> findings;
+  const Rule* rule = findRule(rule_id);
+  EXPECT_NE(rule, nullptr) << rule_id;
+  rule->run(ctx, findings);
+  return findings;
+}
+
+/// a XOR b with the output marked: structurally clean.
+Netlist cleanNetlist() {
+  Netlist nl("clean");
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.markOutput(nl.addGate2(CellKind::kXor2, a, b, "y"));
+  return nl;
+}
+
+// ---- NL001 dangling driven net ------------------------------------
+
+TEST(LintRuleNl001Test, FiresOnGateOutputWithNoConsumer) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.markOutput(nl.addGate2(CellKind::kOr2, a, b, "y"));
+  nl.addGate2(CellKind::kAnd2, a, b, "dead");  // never consumed
+  const auto findings = findingsOf(nl, "NL001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "gate:dead");
+}
+
+TEST(LintRuleNl001Test, SilentWhenEveryOutputIsConsumedOrPrimary) {
+  const auto findings = findingsOf(cleanNetlist(), "NL001");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---- NL002 unused primary input -----------------------------------
+
+TEST(LintRuleNl002Test, FiresOnInputFeedingNothing) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  nl.addInput("unused");
+  nl.markOutput(nl.addGate1(CellKind::kInv, a, "y"));
+  const auto findings = findingsOf(nl, "NL002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "net:unused");
+}
+
+TEST(LintRuleNl002Test, SilentWhenInputsFeedGatesOrAreOutputs) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId pass = nl.addInput("pass_through");
+  nl.markOutput(nl.addGate1(CellKind::kInv, a, "y"));
+  nl.markOutput(pass);  // an input wired straight to an output is used
+  EXPECT_TRUE(findingsOf(nl, "NL002").empty());
+}
+
+// ---- NL003 constant-foldable gate ---------------------------------
+
+TEST(LintRuleNl003Test, FiresOnControllingConstantInput) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId zero = nl.addConst(false);
+  // AND with constant 0 is always 0 no matter what `a` is.
+  nl.markOutput(nl.addGate2(CellKind::kAnd2, a, zero, "y"));
+  const auto findings = findingsOf(nl, "NL003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "gate:y");
+  EXPECT_NE(findings[0].message.find("always evaluates to 0"),
+            std::string::npos);
+}
+
+TEST(LintRuleNl003Test, FiresOnAllConstantInputs) {
+  Netlist nl;
+  const NetId zero = nl.addConst(false);
+  const NetId one = nl.addConst(true);
+  nl.markOutput(nl.addGate2(CellKind::kXor2, zero, one, "y"));
+  const auto findings = findingsOf(nl, "NL003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("always evaluates to 1"),
+            std::string::npos);
+}
+
+TEST(LintRuleNl003Test, SilentOnNonControllingConstant) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId one = nl.addConst(true);
+  // XOR with constant 1 still depends on `a` (it is an inverter, not
+  // a constant) — must not fire.
+  nl.markOutput(nl.addGate2(CellKind::kXor2, a, one, "y"));
+  EXPECT_TRUE(findingsOf(nl, "NL003").empty());
+}
+
+TEST(LintRuleNl003Test, SilentWithoutConstantInputs) {
+  EXPECT_TRUE(findingsOf(cleanNetlist(), "NL003").empty());
+}
+
+// ---- NL004 structurally duplicate gates ---------------------------
+
+TEST(LintRuleNl004Test, FiresOnIdenticalGates) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.markOutput(nl.addGate2(CellKind::kAnd2, a, b, "first"));
+  nl.markOutput(nl.addGate2(CellKind::kAnd2, a, b, "second"));
+  const auto findings = findingsOf(nl, "NL004");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "gate:second");
+  EXPECT_NE(findings[0].message.find("first"), std::string::npos);
+}
+
+TEST(LintRuleNl004Test, CommutativeCellsMatchWithSwappedOperands) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.markOutput(nl.addGate2(CellKind::kXor2, a, b, "ab"));
+  nl.markOutput(nl.addGate2(CellKind::kXor2, b, a, "ba"));
+  EXPECT_EQ(findingsOf(nl, "NL004").size(), 1u);
+}
+
+TEST(LintRuleNl004Test, MuxOperandOrderIsSignificant) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId s = nl.addInput("s");
+  // Mux2(a, b, s) != Mux2(b, a, s): not duplicates.
+  nl.markOutput(nl.addGate3(CellKind::kMux2, a, b, s, "m1"));
+  nl.markOutput(nl.addGate3(CellKind::kMux2, b, a, s, "m2"));
+  EXPECT_TRUE(findingsOf(nl, "NL004").empty());
+}
+
+TEST(LintRuleNl004Test, SilentOnDistinctGates) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  const NetId c = nl.addInput("c");
+  nl.markOutput(nl.addGate2(CellKind::kAnd2, a, b, "x"));
+  nl.markOutput(nl.addGate2(CellKind::kAnd2, a, c, "y"));
+  EXPECT_TRUE(findingsOf(nl, "NL004").empty());
+}
+
+// ---- NL005 buffer/inverter chains ---------------------------------
+
+TEST(LintRuleNl005Test, FiresOnCollapsibleBufAndInvPairs) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId buf1 = nl.addGate1(CellKind::kBuf, a, "buf1");
+  nl.markOutput(nl.addGate1(CellKind::kBuf, buf1, "buf2"));
+  const NetId inv1 = nl.addGate1(CellKind::kInv, a, "inv1");
+  nl.markOutput(nl.addGate1(CellKind::kInv, inv1, "inv2"));
+  const auto findings = findingsOf(nl, "NL005");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].location, "gate:buf2");
+  EXPECT_EQ(findings[1].location, "gate:inv2");
+}
+
+TEST(LintRuleNl005Test, SilentWhenIntermediateNetIsShared) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId inv1 = nl.addGate1(CellKind::kInv, a, "inv1");
+  nl.markOutput(nl.addGate1(CellKind::kInv, inv1, "inv2"));
+  // inv1 also feeds a NAND: collapsing the pair would orphan it.
+  nl.markOutput(nl.addGate2(CellKind::kNand2, inv1, a, "keep"));
+  EXPECT_TRUE(findingsOf(nl, "NL005").empty());
+}
+
+TEST(LintRuleNl005Test, SilentOnSingleInverter) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  nl.markOutput(nl.addGate1(CellKind::kInv, a, "y"));
+  EXPECT_TRUE(findingsOf(nl, "NL005").empty());
+}
+
+// ---- NL006 unreachable gates --------------------------------------
+
+TEST(LintRuleNl006Test, FiresOnWholeDeadCluster) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  nl.markOutput(nl.addGate2(CellKind::kOr2, a, b, "y"));
+  // A two-gate dead cluster: `feeder` has fanout (so NL001 stays
+  // quiet about it) yet neither gate reaches a primary output.
+  const NetId feeder = nl.addGate2(CellKind::kAnd2, a, b, "feeder");
+  nl.addGate1(CellKind::kInv, feeder, "sink");
+  const auto findings = findingsOf(nl, "NL006");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].location, "gate:feeder");
+  EXPECT_EQ(findings[1].location, "gate:sink");
+  // ...and NL001 reports only the frontier gate.
+  const auto dangling = findingsOf(nl, "NL001");
+  ASSERT_EQ(dangling.size(), 1u);
+  EXPECT_EQ(dangling[0].location, "gate:sink");
+}
+
+TEST(LintRuleNl006Test, SilentWhenEveryGateReachesAnOutput) {
+  EXPECT_TRUE(findingsOf(cleanNetlist(), "NL006").empty());
+}
+
+// ---- Cross-artifact fixtures --------------------------------------
+
+/// Context over `nl` with self-consistent artifacts: default library,
+/// default VT model, a small corner set, and delays annotated from
+/// those same artifacts (the "SDF" side of the checks).
+struct ArtifactFixture {
+  explicit ArtifactFixture(Netlist netlist)
+      : nl(std::move(netlist)),
+        library(CellLibrary::defaultLibrary()),
+        vt_model(VtParams{}),
+        corners({{0.81, 0.0}, {0.81, 100.0}, {1.00, 0.0}, {1.00, 100.0}}),
+        sdf(liberty::annotateCorner(nl, library, vt_model,
+                                    Corner{0.90, 50.0})) {}
+
+  LintContext context() {
+    LintContext ctx;
+    ctx.netlist = &nl;
+    ctx.library = &library;
+    ctx.vt_model = &vt_model;
+    ctx.corners = corners;
+    ctx.sdf_delays = &sdf;
+    return ctx;
+  }
+
+  Netlist nl;
+  CellLibrary library;
+  VtModel vt_model;
+  std::vector<Corner> corners;
+  CornerDelays sdf;
+};
+
+// ---- XA001 Liberty corner coverage --------------------------------
+
+TEST(LintRuleXa001Test, FiresOnCellWithoutLibertyTiming) {
+  ArtifactFixture fixture(cleanNetlist());
+  fixture.library.setTiming(CellKind::kXor2, liberty::CellTiming{});
+  const auto findings = findingsOf(fixture.context(), "XA001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "cell:XOR2");
+  EXPECT_NE(findings[0].message.find("no Liberty timing"),
+            std::string::npos);
+}
+
+TEST(LintRuleXa001Test, FiresOnInfeasibleCorner) {
+  ArtifactFixture fixture(cleanNetlist());
+  // 0.40 V is below Vth(T): the cell would never switch there.
+  fixture.corners.push_back({0.40, 25.0});
+  const auto findings = findingsOf(fixture.context(), "XA001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("infeasible"), std::string::npos);
+}
+
+TEST(LintRuleXa001Test, SilentOnCoveredCells) {
+  ArtifactFixture fixture(cleanNetlist());
+  EXPECT_TRUE(findingsOf(fixture.context(), "XA001").empty());
+}
+
+TEST(LintRuleXa001Test, SilentWithoutLibraryArtifacts) {
+  EXPECT_TRUE(findingsOf(cleanNetlist(), "XA001").empty());
+}
+
+// ---- XA002 SDF arc coverage ---------------------------------------
+
+TEST(LintRuleXa002Test, FiresOnGateCountMismatch) {
+  ArtifactFixture fixture(cleanNetlist());
+  fixture.sdf.rise_ps.push_back(1.0);
+  fixture.sdf.fall_ps.push_back(1.0);
+  const auto findings = findingsOf(fixture.context(), "XA002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("annotates 2 gates"),
+            std::string::npos);
+}
+
+TEST(LintRuleXa002Test, FiresOnUnannotatedArc) {
+  ArtifactFixture fixture(cleanNetlist());
+  fixture.sdf.fall_ps[0] = std::nan("");
+  const auto findings = findingsOf(fixture.context(), "XA002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "gate:y");
+  EXPECT_NE(findings[0].message.find("unannotated or invalid"),
+            std::string::npos);
+}
+
+TEST(LintRuleXa002Test, SilentOnFullyAnnotatedNetlist) {
+  ArtifactFixture fixture(cleanNetlist());
+  EXPECT_TRUE(findingsOf(fixture.context(), "XA002").empty());
+}
+
+// ---- XA003 SDF vs Liberty agreement -------------------------------
+
+TEST(LintRuleXa003Test, FiresOnDelayDisagreementBeyondTolerance) {
+  ArtifactFixture fixture(cleanNetlist());
+  fixture.sdf.rise_ps[0] += 1.0;  // 1 ps drift >> the default tolerance
+  const auto findings = findingsOf(fixture.context(), "XA003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "gate:y");
+  EXPECT_NE(findings[0].message.find("rise delay disagrees"),
+            std::string::npos);
+}
+
+TEST(LintRuleXa003Test, ToleranceAbsorbsSmallDrift) {
+  ArtifactFixture fixture(cleanNetlist());
+  fixture.sdf.rise_ps[0] += 0.5;
+  LintContext ctx = fixture.context();
+  ctx.sdf_tolerance_abs_ps = 1.0;
+  EXPECT_TRUE(findingsOf(ctx, "XA003").empty());
+}
+
+TEST(LintRuleXa003Test, SilentOnAgreeingArtifacts) {
+  ArtifactFixture fixture(cleanNetlist());
+  EXPECT_TRUE(findingsOf(fixture.context(), "XA003").empty());
+}
+
+// ---- XA004 V/T voltage monotonicity -------------------------------
+
+TEST(LintRuleXa004Test, FiresWhenRaisingVoltageSlowsTheModel) {
+  ArtifactFixture fixture(cleanNetlist());
+  // A negative velocity-saturation exponent inverts the voltage
+  // dependence: delay then grows with V, which the rule must reject.
+  VtParams params;
+  params.alpha = -1.0;
+  fixture.vt_model = VtModel(params);
+  const auto findings = findingsOf(fixture.context(), "XA004");
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].location, "vtmodel");
+  EXPECT_NE(findings[0].message.find("increases with voltage"),
+            std::string::npos);
+}
+
+TEST(LintRuleXa004Test, FiresOnPerCellSensitivityInversion) {
+  ArtifactFixture fixture(cleanNetlist());
+  // Push the XOR2's adjusted alpha negative: only that cell inverts.
+  fixture.library.setVtSensitivity(CellKind::kXor2, {-3.0, 0.0});
+  const auto findings = findingsOf(fixture.context(), "XA004");
+  ASSERT_FALSE(findings.empty());
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.location, "cell:XOR2");
+  }
+}
+
+TEST(LintRuleXa004Test, SilentOnDefaultModel) {
+  ArtifactFixture fixture(cleanNetlist());
+  EXPECT_TRUE(findingsOf(fixture.context(), "XA004").empty());
+}
+
+// ---- ST001 critical-path report -----------------------------------
+
+TEST(LintRuleSt001Test, ReportsArrivalAndDepthPerOutput) {
+  Netlist nl("chain");
+  const NetId a = nl.addInput("a");
+  const NetId x = nl.addGate1(CellKind::kInv, a, "x");
+  nl.markOutput(nl.addGate1(CellKind::kInv, x, "y"));
+  nl.markOutput(x);
+  ArtifactFixture fixture(std::move(nl));
+  const auto findings = findingsOf(fixture.context(), "ST001");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].location, "net:y");
+  EXPECT_NE(findings[0].message.find("depth 2 levels"), std::string::npos);
+  EXPECT_EQ(findings[1].location, "net:x");
+  EXPECT_NE(findings[1].message.find("depth 1 levels"), std::string::npos);
+}
+
+TEST(LintRuleSt001Test, SilentWithoutTimingArtifacts) {
+  EXPECT_TRUE(findingsOf(cleanNetlist(), "ST001").empty());
+}
+
+// ---- ST002 clock budget -------------------------------------------
+
+TEST(LintRuleSt002Test, FiresOnOutputsExceedingTheBudget) {
+  ArtifactFixture fixture(cleanNetlist());
+  LintContext ctx = fixture.context();
+  ctx.clock_budget_ps = 1.0;  // nothing meets a 1 ps clock
+  const auto findings = findingsOf(ctx, "ST002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].location, "net:y");
+  EXPECT_NE(findings[0].message.find("exceeds the 1.000 ps clock budget"),
+            std::string::npos);
+}
+
+TEST(LintRuleSt002Test, BudgetIsCheckedAtTheSlowestCorner) {
+  ArtifactFixture fixture(cleanNetlist());
+  LintContext ctx = fixture.context();
+  // Between nominal-corner and slowest-corner arrival: the flagged
+  // violation must name the slow low-voltage corner.
+  const double nominal = findingsOf(ctx, "ST001").empty() ? 0.0 : 1.0;
+  (void)nominal;
+  ctx.clock_budget_ps = 40.0;
+  const auto findings = findingsOf(ctx, "ST002");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("(0.81 V"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LintRuleSt002Test, SilentWhenBudgetDisabledOrMet) {
+  ArtifactFixture fixture(cleanNetlist());
+  LintContext ctx = fixture.context();
+  EXPECT_TRUE(findingsOf(ctx, "ST002").empty());  // disabled by default
+  ctx.clock_budget_ps = 1.0e9;
+  EXPECT_TRUE(findingsOf(ctx, "ST002").empty());
+}
+
+// ---- Engine ---------------------------------------------------------
+
+TEST(RunLintTest, RequiresANetlist) {
+  EXPECT_THROW(runLint(LintContext{}), std::invalid_argument);
+}
+
+TEST(RunLintTest, RunsEveryBuiltinRuleAndStampsFindings) {
+  const Netlist nl = cleanNetlist();
+  LintContext ctx;
+  ctx.netlist = &nl;
+  const LintReport report = runLint(ctx);
+  EXPECT_EQ(report.design, "clean");
+  EXPECT_EQ(report.rules_run.size(), builtinRules().size());
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(RunLintTest, AppliesWaiversAndReportsUnusedOnes) {
+  Netlist nl("waived");
+  const NetId a = nl.addInput("a");
+  nl.addInput("unused");
+  nl.markOutput(nl.addGate1(CellKind::kInv, a, "y"));
+  LintContext ctx;
+  ctx.netlist = &nl;
+  WaiverSet waivers = WaiverSet::parseString(
+      "NL002 net:unused   # known scaffolding input\n"
+      "NL001 gate:never*  # stale\n");
+  const LintReport report = runLint(ctx, &waivers);
+  ASSERT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings[0].rule, "NL002");
+  EXPECT_TRUE(report.findings[0].waived);
+  EXPECT_EQ(report.findings[1].rule, "WV001");
+  EXPECT_EQ(report.findings[1].location, "NL001 gate:never*");
+  EXPECT_EQ(report.warningCount(), 0u);
+  EXPECT_EQ(report.waivedCount(), 1u);
+}
+
+TEST(RunLintTest, FindRuleKnowsEveryCatalogEntryAndRejectsOthers) {
+  for (const Rule& rule : builtinRules()) {
+    EXPECT_EQ(findRule(rule.id), &rule);
+  }
+  EXPECT_EQ(findRule("NL999"), nullptr);
+}
+
+}  // namespace
+}  // namespace tevot::lint

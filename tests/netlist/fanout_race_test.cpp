@@ -1,0 +1,130 @@
+// Regression test for the Netlist::fanout() first-call data race: the
+// lazy CSR rebuild used to mutate mutable members under `const`
+// without synchronization, so concurrent first calls from ThreadPool
+// workers raced (each worker could observe a half-built index). The
+// fix guards the rebuild with a mutex behind an acquire/release dirty
+// flag; this test hammers cold caches from many threads and checks
+// every observed span against a single-threaded reference. Run it
+// under -fsanitize=thread (the CI tsan job does) to prove the fix.
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tevot::netlist {
+namespace {
+
+/// Pseudo-random DAG with heavy fan-in reuse, so fanout lists are
+/// non-trivial.
+Netlist randomNetlist(std::uint64_t seed, int gates) {
+  util::Rng rng(seed);
+  Netlist nl("race");
+  std::vector<NetId> nets;
+  for (int i = 0; i < 8; ++i) {
+    nets.push_back(nl.addInput("in" + std::to_string(i)));
+  }
+  for (int g = 0; g < gates; ++g) {
+    const NetId a = nets[rng.nextBelow(nets.size())];
+    const NetId b = nets[rng.nextBelow(nets.size())];
+    const CellKind kind =
+        (g % 2) == 0 ? CellKind::kNand2 : CellKind::kXor2;
+    nets.push_back(nl.addGate2(kind, a, b));
+  }
+  nl.markOutput(nets.back());
+  return nl;
+}
+
+/// fanout() of every net, computed on one thread.
+std::vector<std::vector<GateId>> referenceFanout(const Netlist& nl) {
+  std::vector<std::vector<GateId>> reference(nl.netCount());
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    const auto span = nl.fanout(n);
+    reference[n].assign(span.begin(), span.end());
+  }
+  return reference;
+}
+
+TEST(FanoutRaceTest, ConcurrentFirstCallsSeeACompleteIndex) {
+  constexpr int kRounds = 25;
+  constexpr int kThreads = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    // Fresh netlist per round: the race only exists on a cold cache.
+    const Netlist nl = randomNetlist(round + 1, 300);
+    const std::vector<std::vector<GateId>> expected =
+        referenceFanout(randomNetlist(round + 1, 300));
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&nl, &expected, &mismatches, t] {
+        // Stagger start nets so threads touch different parts of the
+        // CSR while it is (possibly) being built.
+        for (NetId n = 0; n < nl.netCount(); ++n) {
+          const NetId net =
+              static_cast<NetId>((n + t * 37) % nl.netCount());
+          const auto span = nl.fanout(net);
+          const std::vector<GateId> got(span.begin(), span.end());
+          if (got != expected[net]) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    ASSERT_EQ(mismatches.load(), 0) << "round " << round;
+  }
+}
+
+TEST(FanoutRaceTest, PoolWorkersShareOneColdCache) {
+  // The original report: ThreadPool workers calling fanout() on a
+  // freshly built netlist (liberty::annotateCorner does exactly this
+  // through FuContext::delaysAt on characterization jobs).
+  const Netlist nl = randomNetlist(99, 500);
+  const std::vector<std::vector<GateId>> expected = referenceFanout(
+      randomNetlist(99, 500));
+  util::ThreadPool pool(8);
+  std::atomic<int> mismatches{0};
+  pool.parallelFor(64, [&](std::size_t job) {
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+      const NetId net = static_cast<NetId>((n + job * 13) % nl.netCount());
+      const auto span = nl.fanout(net);
+      if (std::vector<GateId>(span.begin(), span.end()) != expected[net]) {
+        mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(FanoutRaceTest, CopyAndMoveResetTheCache) {
+  const Netlist original = randomNetlist(7, 100);
+  const std::vector<std::vector<GateId>> expected =
+      referenceFanout(original);  // also warms original's cache
+
+  Netlist copy = original;  // copy must not alias the warmed cache
+  for (NetId n = 0; n < copy.netCount(); ++n) {
+    const auto span = copy.fanout(n);
+    EXPECT_EQ(std::vector<GateId>(span.begin(), span.end()), expected[n]);
+  }
+
+  Netlist moved = std::move(copy);
+  for (NetId n = 0; n < moved.netCount(); ++n) {
+    const auto span = moved.fanout(n);
+    EXPECT_EQ(std::vector<GateId>(span.begin(), span.end()), expected[n]);
+  }
+
+  Netlist assigned;
+  assigned = original;
+  for (NetId n = 0; n < assigned.netCount(); ++n) {
+    const auto span = assigned.fanout(n);
+    EXPECT_EQ(std::vector<GateId>(span.begin(), span.end()), expected[n]);
+  }
+}
+
+}  // namespace
+}  // namespace tevot::netlist

@@ -7,6 +7,8 @@
 // or delay assignment may produce a wrong settled value.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "netlist/netlist.hpp"
 #include "sim/timing_sim.hpp"
 #include "util/rng.hpp"
@@ -26,7 +28,11 @@ Netlist randomNetlist(util::Rng& rng, int n_inputs, int n_gates,
   Netlist nl("fuzz");
   std::vector<NetId> nets;
   for (int i = 0; i < n_inputs; ++i) {
-    nets.push_back(nl.addInput("i" + std::to_string(i)));
+    // snprintf instead of "i" + std::to_string(i): GCC 12 at -O3 emits
+    // a spurious -Wrestrict for the operator+ expansion.
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "i%d", i);
+    nets.push_back(nl.addInput(buf));
   }
   // Gate kinds that take 1..3 inputs (no constants: they are exercised
   // separately and would shrink the reachable logic).

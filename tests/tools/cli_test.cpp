@@ -156,6 +156,124 @@ TEST(CliTest, BadFaultSpecIsRuntimeError) {
       << result.output;
 }
 
+std::string readFile(const std::string& path) {
+  std::string text;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return text;
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), f)) > 0) {
+    text.append(buffer.data(), n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+void writeFile(const std::string& path, const std::string& text) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+TEST(CliLintTest, UsageErrors) {
+  EXPECT_EQ(runCli("lint").exit_code, 2);
+  EXPECT_EQ(runCli("lint bogus_fu").exit_code, 2);
+  EXPECT_EQ(runCli("lint int_add --grid nonsense").exit_code, 2);
+  EXPECT_EQ(runCli("lint int_add --budget -5").exit_code, 2);
+  const RunResult sdf_all = runCli("lint --all --sdf whatever.sdf");
+  EXPECT_EQ(sdf_all.exit_code, 2);
+  EXPECT_NE(sdf_all.output.find("--sdf"), std::string::npos)
+      << sdf_all.output;
+}
+
+TEST(CliLintTest, CleanGeneratorExitsZero) {
+  // int_add's discarded carry-out is a warning (waivable noise), not
+  // an error, so the generator lints clean at the gating severity.
+  const RunResult result = runCli("lint int_add");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("NL001"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("0 errors"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliLintTest, AllFusExitZero) {
+  const RunResult result = runCli("lint --all --grid 2x2");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // One report per FU.
+  for (const char* fu : {"int_add", "int_mul", "fp_add", "fp_mul"}) {
+    EXPECT_NE(result.output.find(fu), std::string::npos) << fu;
+  }
+}
+
+TEST(CliLintTest, TightBudgetFailsWithSt002) {
+  const RunResult result = runCli("lint int_add --budget 1 --grid 2x2");
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("ST002"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliLintTest, WaiversRestoreCleanExit) {
+  const std::string waivers = testing::TempDir() + "tevot_lint_waivers.txt";
+  writeFile(waivers,
+            "# all outputs miss a 1 ps budget by design\n"
+            "ST002 net:*\n");
+  const RunResult result = runCli("lint int_add --budget 1 --grid 2x2 "
+                                  "--waivers '" + waivers + "'");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("waived"), std::string::npos)
+      << result.output;
+  std::filesystem::remove(waivers);
+}
+
+TEST(CliLintTest, UnusedWaiverIsReportedNotFatal) {
+  const std::string waivers = testing::TempDir() + "tevot_lint_stale.txt";
+  writeFile(waivers, "XA001 cell:NONEXISTENT\n");
+  const RunResult result =
+      runCli("lint int_add --waivers '" + waivers + "'");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("WV001"), std::string::npos)
+      << result.output;
+  std::filesystem::remove(waivers);
+}
+
+TEST(CliLintTest, MalformedWaiverFileIsRuntimeError) {
+  const std::string waivers = testing::TempDir() + "tevot_lint_bad.txt";
+  writeFile(waivers, "just-one-token\n");
+  const RunResult result =
+      runCli("lint int_add --waivers '" + waivers + "'");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("waiver line 1"), std::string::npos)
+      << result.output;
+  std::filesystem::remove(waivers);
+}
+
+TEST(CliLintTest, MissingWaiverFileIsRuntimeErrorWithPath) {
+  const std::string path = testing::TempDir() + "no_such_waivers.txt";
+  const RunResult result = runCli("lint int_add --waivers '" + path + "'");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find(path), std::string::npos) << result.output;
+}
+
+TEST(CliLintTest, JsonReportMatchesGolden) {
+  // The committed golden pins the whole machine-readable surface:
+  // rule ids, severities, locations, message wording, JSON shape.
+  // Regenerate with:
+  //   tevot_cli lint int_add --json tests/golden/lint_int_add.json
+  const std::string out = testing::TempDir() + "tevot_lint_report.json";
+  std::filesystem::remove(out);
+  const RunResult result =
+      runCli("lint int_add --json '" + out + "'");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  const std::string golden =
+      readFile(std::string(TEVOT_GOLDEN_DIR) + "/lint_int_add.json");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden: tests/golden/lint_int_add.json";
+  EXPECT_EQ(readFile(out), golden);
+  std::filesystem::remove(out);
+}
+
 TEST(CliTest, ForcedCheckFailureExitsWithCheckCode) {
   // TEVOT_CHECK_FORCE_FAIL plants an always-failing property, proving
   // end to end that oracle violations exit 3, not 1.

@@ -15,6 +15,8 @@
 //   tevot_cli sweep <fu> <cycles-per-corner> [--out DIR] [--grid NVxNT]
 //             [--seed S] [--resume] [--max-retries N] [--backoff-ms MS]
 //             [--job-deadline MS] [--fail-fast] [--report FILE]
+//   tevot_cli lint <fu>|--all [--grid NVxNT] [--budget PS]
+//             [--waivers FILE] [--sdf FILE] [--json FILE]
 //
 // FU names: int_add, int_mul, fp_add, fp_mul. Numeric operands accept
 // 0x-prefixed hex. `train` uses the Fig. 3 3x3 corner subset with
@@ -24,6 +26,16 @@
 // 25) starting at S (default 1) and exits nonzero on the first
 // violation, printing the exact seed so
 // `tevot_cli check 1 --seed S` reproduces it.
+//
+// `lint` runs the static analyzer (src/lint/) over a generated FU (or
+// all of them with --all): structural netlist rules, cross-artifact
+// Liberty/SDF consistency rules over the --grid corners (the SDF side
+// is a write->parse round trip of the netlist's own annotation unless
+// --sdf supplies an external file), and static-timing reports. A
+// --waivers file suppresses reviewed findings; --json writes the
+// machine-readable report ("-" for stdout). Exit 3 when any un-waived
+// error-severity finding remains, 0 when the design is clean or fully
+// waived.
 //
 // `sweep` runs the resilient corner-sweep engine (dta::runSweep) over
 // an NVxNT (V,T) grid: failing corners are recorded in the sweep
@@ -57,6 +69,8 @@
 #include "check/sweep_oracle.hpp"
 #include "dta/sweep.hpp"
 #include "liberty/lib_format.hpp"
+#include "lint/rules.hpp"
+#include "lint/waiver.hpp"
 #include "netlist/verilog.hpp"
 #include "sdf/sdf.hpp"
 #include "tevot/operating_grid.hpp"
@@ -90,6 +104,9 @@ int usage() {
                "        [--seed S] [--resume] [--max-retries N] "
                "[--backoff-ms MS]\n"
                "        [--job-deadline MS] [--fail-fast] [--report FILE]\n"
+               "  lint <fu>|--all [--grid NVxNT] [--budget PS] "
+               "[--waivers FILE]\n"
+               "       [--sdf FILE] [--json FILE]\n"
                "fu: int_add | int_mul | fp_add | fp_mul\n"
                "--jobs N: worker threads for parallel commands "
                "(0 = hardware threads)\n"
@@ -301,6 +318,126 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
   return ok ? kExitOk : kExitCheckFailed;
 }
 
+int cmdLint(int argc, char** argv) {
+  std::vector<circuits::FuKind> kinds;
+  bool all = false;
+  std::string waiver_path;
+  std::string json_path;
+  std::string sdf_path;
+  double budget_ps = 0.0;
+  int grid_v = 3, grid_t = 3;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "lint: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--all") {
+      all = true;
+    } else if (arg == "--waivers") {
+      const char* v = value("--waivers");
+      if (v == nullptr) return usage();
+      waiver_path = v;
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (v == nullptr) return usage();
+      json_path = v;
+    } else if (arg == "--sdf") {
+      const char* v = value("--sdf");
+      if (v == nullptr) return usage();
+      sdf_path = v;
+    } else if (arg == "--budget") {
+      const char* v = value("--budget");
+      if (v == nullptr) return usage();
+      budget_ps = std::atof(v);
+      if (budget_ps <= 0.0) return usage();
+    } else if (arg == "--grid") {
+      const char* v = value("--grid");
+      if (v == nullptr || std::sscanf(v, "%dx%d", &grid_v, &grid_t) != 2 ||
+          grid_v < 1 || grid_t < 1) {
+        return usage();
+      }
+    } else {
+      circuits::FuKind kind;
+      if (!fuFromName(arg, kind)) return usage();
+      kinds.push_back(kind);
+    }
+  }
+  if (all) {
+    if (!kinds.empty()) return usage();
+    kinds.assign(circuits::kAllFus.begin(), circuits::kAllFus.end());
+  }
+  if (kinds.empty()) return usage();
+  if (!sdf_path.empty() && kinds.size() != 1) {
+    std::fprintf(stderr, "lint: --sdf applies to a single fu\n");
+    return usage();
+  }
+
+  const liberty::CellLibrary library = liberty::CellLibrary::defaultLibrary();
+  const liberty::VtModel vt_model;
+  const std::vector<liberty::Corner> corners =
+      core::OperatingGrid::paper().subsampled(grid_v, grid_t);
+  const liberty::Corner nominal{vt_model.params().vnom,
+                                vt_model.params().tnom_c};
+
+  bool clean = true;
+  std::string json;
+  for (const circuits::FuKind kind : kinds) {
+    const netlist::Netlist nl = circuits::buildFu(kind);
+    // The SDF under test: an external file, or a write->parse round
+    // trip of this netlist's own nominal-corner annotation (proving
+    // the writer, the parser and the annotator agree end to end).
+    liberty::CornerDelays sdf_delays;
+    if (!sdf_path.empty()) {
+      sdf_delays = sdf::parseSdfFile(sdf_path, nl);
+    } else {
+      const liberty::CornerDelays annotated =
+          liberty::annotateCorner(nl, library, vt_model, nominal);
+      sdf_delays = sdf::parseSdfString(sdf::toSdfString(nl, annotated), nl);
+    }
+
+    lint::LintContext ctx;
+    ctx.netlist = &nl;
+    ctx.library = &library;
+    ctx.vt_model = &vt_model;
+    ctx.corners = corners;
+    ctx.sdf_delays = &sdf_delays;
+    ctx.clock_budget_ps = budget_ps;
+
+    lint::WaiverSet waivers;
+    if (!waiver_path.empty()) {
+      waivers = lint::WaiverSet::parseFile(waiver_path);
+    }
+    const lint::LintReport report = lint::runLint(ctx, &waivers);
+    std::printf("%s", report.toText().c_str());
+    clean = clean && report.clean();
+    if (!json.empty()) json += ",\n";
+    json += report.toJson();
+  }
+  if (kinds.size() > 1) json = "[\n" + json + "]\n";
+  if (json_path == "-") {
+    std::printf("%s", json.c_str());
+  } else if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "lint: cannot open %s: %s\n", json_path.c_str(),
+                   std::strerror(errno));
+      return kExitRuntime;
+    }
+    os << json;
+    if (!os.flush()) {
+      std::fprintf(stderr, "lint: cannot write %s: %s\n", json_path.c_str(),
+                   std::strerror(errno));
+      return kExitRuntime;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return clean ? kExitOk : kExitCheckFailed;
+}
+
 /// "0.85 V, 25 C" -> "0v85_25c" — the per-corner checkpoint key stem.
 std::string cornerSlug(const liberty::Corner& corner) {
   const int centivolts = static_cast<int>(corner.voltage * 100.0 + 0.5);
@@ -491,6 +628,7 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (command == "sweep") return cmdSweep(argc, argv, pool);
+    if (command == "lint") return cmdLint(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "tevot_cli: %s\n", error.what());
     return kExitRuntime;
