@@ -15,16 +15,7 @@ namespace tevot::check {
 
 namespace {
 
-/// "INT ADD" -> "int_add".
-std::string fuSlug(circuits::FuKind kind) {
-  std::string slug;
-  for (const char c : circuits::fuName(kind)) {
-    slug.push_back(c == ' ' ? '_'
-                            : static_cast<char>(std::tolower(
-                                  static_cast<unsigned char>(c))));
-  }
-  return slug;
-}
+using circuits::fuSlug;
 
 /// 0.90 V / 50 C -> "0v90_50c" (centivolt and whole-degree resolution,
 /// matching the grid the specs draw from).
@@ -52,7 +43,8 @@ std::vector<GoldenSpec> defaultGoldenSpecs() {
 }
 
 std::string goldenFileName(const GoldenSpec& spec) {
-  return fuSlug(spec.kind) + "_" + cornerSlug(spec.corner) + ".trace";
+  return std::string(fuSlug(spec.kind)) + "_" + cornerSlug(spec.corner) +
+         ".trace";
 }
 
 std::string renderGoldenTrace(core::FuContext& context,

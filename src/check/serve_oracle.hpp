@@ -1,0 +1,57 @@
+// Serving resilience oracle (the "robustness differential").
+//
+// Contract being checked, under deterministic fault injection at
+// serve.accept / serve.parse / serve.predict / serve.reload:
+//
+//   1. Every request line receives exactly one well-formed response
+//      from the documented taxonomy — faults degrade answers into
+//      typed SHED/DEADLINE/ERROR lines, never into silence, a hung
+//      connection, or a dead worker.
+//   2. Every ACCEPTED answer is still correct: an OK response's delay
+//      is bit-identical (hexfloat round-trip) to offline
+//      TevotModel::predictDelay on the same operands, and its err bit
+//      equals delay > tclk. Degraded mode may refuse work, it may
+//      never serve wrong numbers.
+//   3. Malformed input (garbage verbs, NaN operands, oversized lines)
+//      always yields a non-OK response.
+//
+// driveAndVerifyServer is the reusable client-side driver: the
+// in-process property, the serve tests and `tevot_cli serve-check`
+// (the CI smoke job) all run the same verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tevot/model.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::check {
+
+struct ServeDriveOptions {
+  int clients = 4;              ///< concurrent client threads
+  int requests_per_client = 30;
+  double garbage_fraction = 0.1;  ///< malformed-line probability
+  bool exercise_control = true;   ///< mix in health/stats/reload
+  /// Reconnect-and-resend budget per request; injected accept faults
+  /// drop whole connections, so clients retry (requests are
+  /// idempotent). Exhausting the budget is a violation.
+  int reconnect_budget = 8;
+};
+
+/// Drives a tevot_serve endpoint on 127.0.0.1:`port` serving `fu`
+/// with `reference` (the offline copy of the same trained model) and
+/// throws PropertyViolation on any contract breach.
+void driveAndVerifyServer(const core::TevotModel& reference,
+                          const std::string& fu, int port,
+                          std::uint64_t seed,
+                          const ServeDriveOptions& options = {});
+
+/// Property for check::forAllSeeds: boots an in-process server on a
+/// cached tiny int_add model with all serve.* fault points armed at
+/// 10% (deterministic per seed), drives it, then drains and checks
+/// the response-accounting invariant requests == ok+shed+deadline+
+/// errors.
+void checkServeResilience(std::uint64_t seed, util::Rng& rng);
+
+}  // namespace tevot::check

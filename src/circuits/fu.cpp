@@ -24,6 +24,20 @@ std::string_view fuName(FuKind kind) {
   throw std::invalid_argument("fuName: bad kind");
 }
 
+std::string_view fuSlug(FuKind kind) {
+  switch (kind) {
+    case FuKind::kIntAdd:
+      return "int_add";
+    case FuKind::kIntMul:
+      return "int_mul";
+    case FuKind::kFpAdd:
+      return "fp_add";
+    case FuKind::kFpMul:
+      return "fp_mul";
+  }
+  throw std::invalid_argument("fuSlug: bad kind");
+}
+
 netlist::Netlist buildFu(FuKind kind) {
   switch (kind) {
     case FuKind::kIntAdd:

@@ -21,6 +21,11 @@ inline constexpr std::array<FuKind, 4> kAllFus = {
 /// Paper-style display name ("INT ADD", ...).
 std::string_view fuName(FuKind kind);
 
+/// Machine name ("int_add", ...): filesystem- and wire-protocol-safe,
+/// matching the tevot_cli FU arguments and the "<slug>.model" files a
+/// model directory holds.
+std::string_view fuSlug(FuKind kind);
+
 /// Builds the gate-level netlist of a functional unit: inputs a[32]
 /// then b[32] (64 primary inputs), outputs are the 32 result bits.
 netlist::Netlist buildFu(FuKind kind);

@@ -146,6 +146,11 @@ SweepResult runSweep(std::span<const CharacterizeJob> jobs,
       outcome.status = Status::cancelled("sweep aborted (fail-fast)");
       return;
     }
+    if (options.stop_requested && options.stop_requested()) {
+      outcome.state = JobState::kCancelled;
+      outcome.status = Status::cancelled("sweep interrupted (stop requested)");
+      return;
+    }
 
     const std::string checkpoint_path =
         options.checkpoint_dir.empty()
@@ -173,6 +178,15 @@ SweepResult runSweep(std::span<const CharacterizeJob> jobs,
     }
 
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1 && options.stop_requested &&
+          options.stop_requested()) {
+        // Don't burn the retry budget once a stop has been requested;
+        // the first attempt's failure status is replaced by the
+        // cancellation so the report says why the job gave up.
+        outcome.status =
+            Status::cancelled("sweep interrupted (stop requested)");
+        break;
+      }
       if (options.on_attempt) options.on_attempt(i, attempt);
       ++outcome.attempts;
       const Clock::time_point start = Clock::now();
@@ -212,8 +226,12 @@ SweepResult runSweep(std::span<const CharacterizeJob> jobs,
 
     outcome.state = outcome.status.code == StatusCode::kDeadlineExceeded
                         ? JobState::kDeadlineExceeded
+                    : outcome.status.code == StatusCode::kCancelled
+                        ? JobState::kCancelled
                         : JobState::kFailed;
-    if (options.fail_fast) abort.store(true, std::memory_order_relaxed);
+    if (outcome.state != JobState::kCancelled && options.fail_fast) {
+      abort.store(true, std::memory_order_relaxed);
+    }
   });
 
   return result;

@@ -80,6 +80,12 @@ struct SweepOptions {
   /// Fault injector consulted at the job.* / io.* points; nullptr
   /// uses util::FaultInjector::global() (armed via TEVOT_FAULTS).
   util::FaultInjector* faults = nullptr;
+  /// Cooperative stop (e.g. SIGINT in `tevot_cli sweep`): polled at
+  /// job entry and between retry attempts. Once it returns true, no
+  /// new work starts — jobs not yet begun finish as kCancelled — but
+  /// the in-flight job completes and flushes its checkpoint, so a
+  /// later --resume always sees a consistent directory.
+  std::function<bool()> stop_requested;
   /// Test hook, called before every execution attempt (job, attempt#).
   std::function<void(std::size_t job, int attempt)> on_attempt;
 };

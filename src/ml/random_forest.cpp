@@ -1,5 +1,6 @@
 #include "ml/random_forest.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace tevot::ml {
@@ -110,6 +111,45 @@ std::vector<double> forestFeatureImportance(
     for (double& value : total) value /= sum;
   }
   return total;
+}
+
+util::Status validateForestStructure(std::span<const DecisionTree> trees,
+                                     std::size_t n_features) {
+  if (trees.empty()) {
+    return util::Status::invalidArgument("forest has no trees");
+  }
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const auto nodes = trees[t].nodes();
+    const auto where = [t](std::size_t n) {
+      return "tree " + std::to_string(t) + " node " + std::to_string(n);
+    };
+    if (nodes.empty()) {
+      return util::Status::invalidArgument("tree " + std::to_string(t) +
+                                           " is empty");
+    }
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      const DecisionTree::Node& node = nodes[n];
+      if (!std::isfinite(node.threshold) || !std::isfinite(node.value)) {
+        return util::Status::invalidArgument(where(n) +
+                                             ": non-finite threshold/value");
+      }
+      if (node.feature < 0) continue;  // leaf
+      if (static_cast<std::size_t>(node.feature) >= n_features) {
+        return util::Status::invalidArgument(
+            where(n) + ": feature " + std::to_string(node.feature) +
+            " out of range for " + std::to_string(n_features) +
+            " features");
+      }
+      const auto in_range = [&](std::int32_t child) {
+        return child >= 0 && static_cast<std::size_t>(child) < nodes.size();
+      };
+      if (!in_range(node.left) || !in_range(node.right)) {
+        return util::Status::invalidArgument(where(n) +
+                                             ": child index out of range");
+      }
+    }
+  }
+  return util::Status::okStatus();
 }
 
 }  // namespace tevot::ml

@@ -6,9 +6,11 @@
 // bootstrap sampling.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "ml/decision_tree.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tevot::ml {
@@ -70,5 +72,14 @@ class RandomForestRegressor {
 /// the significance disparity between different features").
 std::vector<double> forestFeatureImportance(
     std::span<const DecisionTree> trees, std::size_t n_features);
+
+/// Structural validation for model hot-reload: every tree non-empty,
+/// every split's feature index < n_features, child indices in range,
+/// and every threshold/leaf value finite. The serialize.hpp loaders
+/// enforce most of this on the way in; this re-checks an in-memory
+/// forest right before a serving swap, so a model built any other way
+/// (or corrupted in memory) can never be published to workers.
+util::Status validateForestStructure(std::span<const DecisionTree> trees,
+                                     std::size_t n_features);
 
 }  // namespace tevot::ml

@@ -1,0 +1,79 @@
+#include "serve/breaker.hpp"
+
+namespace tevot::serve {
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const double open_ms =
+          std::chrono::duration<double, std::milli>(now - opened_at_)
+              .count();
+      if (open_ms < config_.cooldown_ms) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    }
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::recordSuccess() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::recordFailure(Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to OPEN with a fresh cooldown.
+    state_ = State::kOpen;
+    opened_at_ = now;
+    ++opens_;
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    ++opens_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int CircuitBreaker::consecutiveFailures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return opens_;
+}
+
+const char* breakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace tevot::serve

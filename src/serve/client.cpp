@@ -1,0 +1,80 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tevot::serve {
+
+util::Status LineClient::connectTo(int port) {
+  close();
+  util::UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return util::Status::ioError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return util::Status::ioError("connect 127.0.0.1:" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+  }
+  fd_ = std::move(fd);
+  buffer_.clear();
+  return util::Status::okStatus();
+}
+
+bool LineClient::sendLine(const std::string& line) {
+  if (!fd_.valid()) return false;
+  const std::string wire = line + "\n";
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> LineClient::readLine() {
+  char chunk[1024];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (!fd_.valid()) return std::nullopt;
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void LineClient::closeSend() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+void LineClient::close() {
+  fd_.reset();
+  buffer_.clear();
+}
+
+}  // namespace tevot::serve

@@ -1,0 +1,39 @@
+// Minimal blocking line client for the tevot_serve protocol; used by
+// the resilience oracle, the serve tests and `tevot_cli serve-check`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/fd.hpp"
+#include "util/status.hpp"
+
+namespace tevot::serve {
+
+class LineClient {
+ public:
+  LineClient() = default;
+
+  /// Connects to 127.0.0.1:port. A refused connection is an IoError
+  /// (callers retry while a freshly spawned server binds).
+  util::Status connectTo(int port);
+
+  bool connected() const { return fd_.valid(); }
+
+  /// Sends `line` plus a trailing newline. False once the peer is gone.
+  bool sendLine(const std::string& line);
+
+  /// Blocks for the next full response line (newline stripped).
+  /// nullopt on EOF / connection reset.
+  std::optional<std::string> readLine();
+
+  /// Half-close: no more requests, responses still readable.
+  void closeSend();
+  void close();
+
+ private:
+  util::UniqueFd fd_;
+  std::string buffer_;
+};
+
+}  // namespace tevot::serve

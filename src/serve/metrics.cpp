@@ -1,0 +1,53 @@
+#include "serve/metrics.hpp"
+
+#include <cstdio>
+
+namespace tevot::serve {
+
+std::string MetricsSnapshot::toLine() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests=%llu ok=%llu shed=%llu deadline=%llu errors=%llu "
+      "connections=%llu dropped=%llu queue=%zu/%zu breakers_open=%zu "
+      "breaker_opens=%llu reloads=%llu reload_failures=%llu "
+      "generation=%llu p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f max_ms=%.3f "
+      "latency_count=%llu",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(connections),
+      static_cast<unsigned long long>(connections_dropped), queue_depth,
+      queue_capacity, breakers_open,
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(reloads),
+      static_cast<unsigned long long>(reload_failures),
+      static_cast<unsigned long long>(generation), p50_ms, p95_ms, p99_ms,
+      max_ms, static_cast<unsigned long long>(latency_count));
+  return buf;
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  MetricsSnapshot snap;
+  snap.connections = connections.load(std::memory_order_relaxed);
+  snap.connections_dropped =
+      connections_dropped.load(std::memory_order_relaxed);
+  snap.requests = requests.load(std::memory_order_relaxed);
+  snap.ok = ok.load(std::memory_order_relaxed);
+  snap.shed = shed.load(std::memory_order_relaxed);
+  snap.deadline = deadline.load(std::memory_order_relaxed);
+  snap.errors = errors.load(std::memory_order_relaxed);
+  snap.reloads = reloads.load(std::memory_order_relaxed);
+  snap.reload_failures = reload_failures.load(std::memory_order_relaxed);
+  const util::LatencyHistogram latency = latencySnapshot();
+  snap.p50_ms = latency.p50();
+  snap.p95_ms = latency.p95();
+  snap.p99_ms = latency.p99();
+  snap.max_ms = latency.maxMs();
+  snap.latency_count = latency.count();
+  return snap;
+}
+
+}  // namespace tevot::serve

@@ -1,0 +1,74 @@
+// Serving counters and latency percentiles behind /health and /stats.
+//
+// Counters are relaxed atomics (monotonic, per-event increments from
+// many threads); the latency histogram is mutex-guarded because
+// LatencyHistogram itself is not synchronized. snapshot() is the one
+// read surface — the control responses, the drain-time summary and
+// the bench JSON all render from the same struct.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace tevot::serve {
+
+struct MetricsSnapshot {
+  std::uint64_t connections = 0;
+  std::uint64_t connections_dropped = 0;  ///< accept faults/conn limit
+  std::uint64_t requests = 0;             ///< complete request lines
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t reload_failures = 0;
+  std::uint64_t breaker_opens = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t breakers_open = 0;
+  std::uint64_t generation = 0;  ///< model-set generation
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t latency_count = 0;
+
+  /// "k=v k=v …" line used by the stats response and final summary.
+  std::string toLine() const;
+};
+
+class ServeMetrics {
+ public:
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> connections_dropped{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> deadline{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> reloads{0};
+  std::atomic<std::uint64_t> reload_failures{0};
+
+  void recordLatencyMs(double ms) {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    latency_.add(ms);
+  }
+  util::LatencyHistogram latencySnapshot() const {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    return latency_;
+  }
+
+  /// Counter + latency part of the snapshot; the server fills in the
+  /// queue/breaker/generation gauges it owns.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex latency_mutex_;
+  util::LatencyHistogram latency_;
+};
+
+}  // namespace tevot::serve

@@ -1,0 +1,109 @@
+// Wire protocol of tevot_serve: newline-delimited text, one request
+// per line, exactly one response line per request.
+//
+// Request grammar (tokens separated by spaces/tabs; lines over
+// kMaxLineBytes are rejected with ERROR OVERSIZED; blank lines are
+// ignored):
+//   predict <fu> <V> <T> <tclk_ps> <a> <b> <prev_a> <prev_b> [deadline_ms]
+//   health
+//   stats
+//   reload
+// Operands accept 0x-prefixed hex; V/T/tclk/deadline are decimal or
+// hexfloat doubles and must be finite (NaN/inf are BAD_REQUEST, never
+// a crash or a silent wrong answer); tclk must be > 0 and deadline
+// >= 0 (0 = server default).
+//
+// Response grammar (always a single line; the first token is the
+// response status, the full taxonomy a client must handle):
+//   OK delay=<hexfloat ps> err=<0|1>      predict accepted
+//   OK health <k=v ...>                   control surface
+//   OK stats <k=v ...>
+//   OK reload generation=<n> models=<n>
+//   SHED <detail>                         load shed (queue full / drain)
+//   DEADLINE <detail>                     per-request deadline exceeded
+//   ERROR <CODE> <detail>                 typed failure, see ErrorCode
+//
+// delay is printed with printf %a (hexfloat), so a client parsing it
+// with strtod recovers the server's double bit-for-bit — the property
+// check::checkServeResilience pins against offline evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace tevot::serve {
+
+/// Hard cap on one request line (bytes, newline excluded). Longer
+/// lines get one ERROR OVERSIZED response and are discarded.
+inline constexpr std::size_t kMaxLineBytes = 4096;
+
+enum class RequestKind { kPredict, kHealth, kStats, kReload };
+
+struct Request {
+  RequestKind kind = RequestKind::kPredict;
+  std::string fu;            ///< functional-unit name (predict only)
+  double voltage = 0.0;      ///< [V]
+  double temperature = 0.0;  ///< [deg C]
+  double tclk_ps = 0.0;      ///< clock period to classify against
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t prev_a = 0;
+  std::uint32_t prev_b = 0;
+  double deadline_ms = 0.0;  ///< 0 = server default
+};
+
+enum class ResponseStatus { kOk, kShed, kDeadline, kError };
+
+/// Typed failure taxonomy carried in ERROR responses.
+enum class ErrorCode {
+  kNone = 0,
+  kParse,             ///< unrecognized verb / wrong arity
+  kBadRequest,        ///< recognized shape, invalid operand (NaN, tclk<=0)
+  kOversized,         ///< request line over kMaxLineBytes
+  kUnknownFu,         ///< fu name outside the known set
+  kModelUnavailable,  ///< known fu, but no model loaded for it
+  kBreakerOpen,       ///< backend circuit breaker rejecting requests
+  kReloadFailed,      ///< validation failed; previous models kept
+  kFaultInjected,     ///< deterministic serve.* injected fault
+  kDraining,          ///< server shutting down
+  kInternal,          ///< unclassified backend exception
+};
+
+const char* responseStatusName(ResponseStatus status);  ///< "OK", "SHED"…
+const char* errorCodeName(ErrorCode code);              ///< "PARSE", …
+
+struct Response {
+  ResponseStatus status = ResponseStatus::kOk;
+  ErrorCode code = ErrorCode::kNone;
+  double delay_ps = 0.0;
+  bool timing_error = false;
+  /// Human detail for SHED/DEADLINE/ERROR, payload for health/stats.
+  std::string detail;
+
+  /// One response line, no trailing newline.
+  std::string serialize() const;
+
+  static Response ok(double delay_ps, bool timing_error);
+  static Response payload(const std::string& text);  ///< OK + detail
+  static Response shed(std::string detail);
+  static Response deadline(std::string detail);
+  static Response error(ErrorCode code, std::string detail);
+};
+
+/// Parses one request line (newline/CR already stripped). On failure
+/// returns the ERROR response to send (kParse/kBadRequest), leaving
+/// `out` unspecified. Blank lines must be filtered by the caller.
+util::Status parseRequest(std::string_view line, Request* out);
+
+/// Maps a parse failure Status onto the typed wire error.
+Response responseForParseFailure(const util::Status& status);
+
+/// Client-side: splits a response line into its typed form. False when
+/// the line is not well-formed (the resilience oracle treats that as a
+/// violation).
+bool parseResponse(std::string_view line, Response* out);
+
+}  // namespace tevot::serve

@@ -1,0 +1,72 @@
+// Bounded MPMC admission queue with explicit rejection.
+//
+// The serving robustness rule: overload must surface as a typed SHED
+// response, never a hidden unbounded queue or a dropped request.
+// tryPush never blocks — a full (or closed) queue is the caller's cue
+// to shed — while pop blocks until an item arrives or the queue is
+// closed AND empty, so workers drain everything that was admitted.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tevot::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admit; false when full or closed (caller sheds).
+  bool tryPush(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes; pending items remain poppable.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tevot::serve

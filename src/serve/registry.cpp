@@ -1,0 +1,56 @@
+#include "serve/registry.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "circuits/fu.hpp"
+#include "util/log.hpp"
+
+namespace tevot::serve {
+
+ModelRegistry::ModelRegistry(std::string model_dir)
+    : model_dir_(std::move(model_dir)) {}
+
+util::Status ModelRegistry::reload(util::FaultInjector* faults) {
+  const std::lock_guard<std::mutex> lock(reload_mutex_);
+  auto candidate = std::make_shared<ModelSet>();
+  candidate->generation = next_generation_;
+  try {
+    if (faults != nullptr) {
+      faults->maybeThrow("serve.reload",
+                         std::to_string(candidate->generation));
+    }
+    for (const circuits::FuKind kind : circuits::kAllFus) {
+      const std::string name(circuits::fuSlug(kind));
+      const std::string path = model_dir_ + "/" + name + ".model";
+      if (!std::filesystem::exists(path)) continue;
+      core::TevotModel model = core::TevotModel::load(path);
+      const util::Status valid = model.validateForServing();
+      if (!valid.ok()) {
+        return util::Status::invalidArgument("model " + path +
+                                             " failed validation: " +
+                                             valid.message);
+      }
+      candidate->models.emplace(name, std::move(model));
+    }
+  } catch (const util::StatusError& error) {
+    return error.status();
+  } catch (const std::exception& error) {
+    return util::Status::internal("reload " + model_dir_ + ": " +
+                                  error.what());
+  }
+  if (candidate->models.empty()) {
+    return util::Status::invalidArgument("no <fu>.model files in " +
+                                         model_dir_);
+  }
+  // The swap: one atomic pointer store. In-flight requests keep their
+  // snapshot alive via shared_ptr refcounts; new admissions see the
+  // new generation immediately.
+  current_.store(std::move(candidate));
+  ++next_generation_;
+  util::logInfo() << "serve: loaded model generation "
+                  << (next_generation_ - 1) << " from " << model_dir_;
+  return util::Status::okStatus();
+}
+
+}  // namespace tevot::serve

@@ -1,0 +1,151 @@
+// Long-running, multi-threaded TEVoT prediction server.
+//
+// Thread model: one acceptor, one thread per live connection (bounded
+// by max_connections), and a fixed worker pool. A connection thread
+// reads request lines, admits predict work into the bounded queue
+// (full queue => typed SHED, never a silent drop), and blocks for that
+// request's response before reading the next line, so responses are
+// trivially ordered and every request gets exactly one. Workers pop
+// tasks, enforce the end-to-end deadline (admission wait + compute),
+// route through the per-FU circuit breaker, and predict against the
+// immutable model snapshot captured at admission (reload atomicity).
+//
+// Robustness surface:
+//  * load shedding   bounded queue + connection cap, SHED responses
+//  * deadlines       per-request (or server default), checked at
+//                    dequeue and after compute
+//  * circuit breaker per model backend; OPEN => typed BREAKER_OPEN
+//  * hot reload      ModelRegistry validate-then-swap (control
+//                    `reload` request; tevot_serve also maps SIGHUP)
+//  * graceful drain  drainAndStop(): stop accepting, complete or shed
+//                    queued work within the drain deadline, join all
+//  * fault injection serve.accept / serve.parse / serve.predict /
+//                    serve.reload (failures) and serve.slow (delay)
+//                    sites, armed via TEVOT_FAULTS or a
+//                    local injector — degradation is deterministic and
+//                    testable (check::checkServeResilience)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/breaker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/registry.hpp"
+#include "util/fault_injection.hpp"
+#include "util/fd.hpp"
+
+namespace tevot::serve {
+
+struct ServerOptions {
+  std::string model_dir;
+  /// Listen port on 127.0.0.1; 0 binds an ephemeral port (see port()).
+  int port = 0;
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t max_connections = 64;
+  /// Applied when a request carries no deadline; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Budget for drainAndStop() to complete queued work before
+  /// shedding the remainder.
+  double drain_deadline_ms = 2000.0;
+  BreakerConfig breaker;
+  /// Fault injector for the serve.* points; nullptr uses
+  /// util::FaultInjector::global() (armed via TEVOT_FAULTS).
+  util::FaultInjector* faults = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads models, binds and starts all threads. Returns a typed
+  /// error (and starts nothing) on load/bind failure.
+  util::Status start();
+
+  bool running() const { return running_.load(); }
+  /// The bound port (after start()).
+  int port() const { return bound_port_; }
+
+  /// Hot reload from the model directory; on failure the previous
+  /// models keep serving.
+  util::Status reload();
+
+  /// Counters plus live gauges (queue depth, breaker states,
+  /// generation).
+  MetricsSnapshot stats() const;
+
+  /// Graceful drain: stop accepting, complete or shed queued work
+  /// within drain_deadline_ms, join every thread. Idempotent.
+  /// Returns the final stats snapshot.
+  MetricsSnapshot drainAndStop();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Task {
+    Request request;
+    Clock::time_point arrival{};
+    double deadline_ms = 0.0;
+    std::uint64_t id = 0;
+    std::shared_ptr<const ModelSet> models;
+    std::promise<Response> promise;
+  };
+
+  struct Connection {
+    util::UniqueFd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void acceptLoop();
+  void connectionLoop(Connection* connection);
+  void workerLoop();
+  void handleLine(Connection* connection, std::string_view line);
+  Response handleControl(const Request& request);
+  Response processTask(Task& task);
+  /// Serializes, appends '\n', writes, and bumps the per-status
+  /// counter. A failed write (client gone) is not an error.
+  void writeResponse(Connection* connection, const Response& response);
+  void reapFinishedConnections();
+  static double msSince(Clock::time_point start);
+
+  ServerOptions options_;
+  ModelRegistry registry_;
+  ServeMetrics metrics_;
+  util::FaultInjector* faults_ = nullptr;
+  std::map<std::string, CircuitBreaker> breakers_;
+
+  util::UniqueFd listen_fd_;
+  int bound_port_ = 0;
+
+  std::unique_ptr<BoundedQueue<Task>> queue_;
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;
+
+  std::mutex connections_mutex_;
+  std::list<Connection> connections_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shed_all_{false};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> next_connection_id_{1};
+};
+
+}  // namespace tevot::serve

@@ -27,6 +27,10 @@ class FeatureEncoder {
 
   bool includeHistory() const { return include_history_; }
 
+  /// Upper bound on featureCount() for any encoder configuration —
+  /// lets callers size stack buffers.
+  static constexpr std::size_t kMaxFeatures = 130;
+
   /// 130 with history, 66 without.
   std::size_t featureCount() const { return include_history_ ? 130 : 66; }
 

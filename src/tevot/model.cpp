@@ -1,6 +1,8 @@
 #include "tevot/model.hpp"
 
+#include <array>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -50,9 +52,33 @@ double TevotModel::predictDelay(std::uint32_t a, std::uint32_t b,
                                 std::uint32_t prev_a, std::uint32_t prev_b,
                                 const liberty::Corner& corner) const {
   if (!trained()) throw std::logic_error("TevotModel: not trained");
-  scratch_.resize(encoder_.featureCount());
-  encoder_.encode(a, b, prev_a, prev_b, corner, scratch_);
-  return forest_.predict(scratch_);
+  // Stack feature buffer, not a member scratch vector: prediction must
+  // stay safe under concurrent serve workers sharing one model.
+  std::array<float, FeatureEncoder::kMaxFeatures> features;
+  const std::span<float> row(features.data(), encoder_.featureCount());
+  encoder_.encode(a, b, prev_a, prev_b, corner, row);
+  return forest_.predict(row);
+}
+
+util::Status TevotModel::validateForServing() const {
+  if (!trained()) {
+    return util::Status::invalidArgument("model is not trained");
+  }
+  const util::Status forest_status =
+      ml::validateForestStructure(forest_.trees(), encoder_.featureCount());
+  if (!forest_status.ok()) return forest_status;
+  // Canary predictions at the nominal corner: the whole predict path
+  // must produce finite, physically plausible (non-negative) delays.
+  const liberty::Corner nominal{1.00, 25.0};
+  for (const std::uint32_t word : {0u, 0xffffffffu, 0xa5a5a5a5u}) {
+    const double delay = predictDelay(word, ~word, 0, 0, nominal);
+    if (!std::isfinite(delay) || delay < 0.0) {
+      return util::Status::invalidArgument(
+          "canary prediction not a finite non-negative delay: " +
+          std::to_string(delay));
+    }
+  }
+  return util::Status::okStatus();
 }
 
 std::vector<double> TevotModel::featureImportance() const {

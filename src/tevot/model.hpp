@@ -16,6 +16,7 @@
 #include "dta/dta.hpp"
 #include "ml/random_forest.hpp"
 #include "tevot/features.hpp"
+#include "util/status.hpp"
 
 namespace tevot::core {
 
@@ -50,7 +51,8 @@ class TevotModel {
              util::ThreadPool* pool = nullptr);
 
   /// Predicted dynamic delay [ps] for one input transition at a
-  /// corner.
+  /// corner. Thread-safe: concurrent callers on one model are fine
+  /// (the serving layer fans prediction out across workers).
   double predictDelay(std::uint32_t a, std::uint32_t b,
                       std::uint32_t prev_a, std::uint32_t prev_b,
                       const liberty::Corner& corner) const;
@@ -73,6 +75,13 @@ class TevotModel {
   /// (all-zero) for models loaded from disk.
   std::vector<double> featureImportance() const;
 
+  /// Serving-readiness validation, the gate a model hot-reload must
+  /// pass before the swap: trained, structurally sound forest (node
+  /// indices in range for this encoder's feature count, finite
+  /// values), and a finite, non-negative canary prediction at the
+  /// nominal corner. ok() when the model is safe to serve.
+  util::Status validateForServing() const;
+
   /// Pre-trained model persistence (forest + history flag).
   void save(const std::string& path) const;
   static TevotModel load(const std::string& path);
@@ -81,7 +90,6 @@ class TevotModel {
   TevotConfig config_;
   FeatureEncoder encoder_;
   ml::RandomForestRegressor forest_;
-  mutable std::vector<float> scratch_;
 };
 
 }  // namespace tevot::core

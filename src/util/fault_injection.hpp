@@ -16,6 +16,11 @@
 //   job.slow       SweepRunner: sleep slow_ms before running a job
 //   io.open        trace_io: fail opening a checkpoint file
 //   io.write       trace_io: fail writing/renaming a checkpoint file
+//   serve.accept   Server: drop a just-accepted connection
+//   serve.parse    Server: fail one request line with FAULT_INJECTED
+//   serve.predict  Server: throw inside the model-backend call
+//   serve.slow     Server: sleep slow_ms inside the backend call
+//   serve.reload   ModelRegistry: fail a model hot-reload attempt
 //
 // The process-wide injector (FaultInjector::global()) arms itself once
 // from the TEVOT_FAULTS environment spec, e.g.

@@ -1,0 +1,17 @@
+#include "util/fd.hpp"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace tevot::util {
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0 && fd_ != fd) {
+    // EINTR on close is unrecoverable by retry on Linux (the fd is
+    // already gone); ignore it like everyone else.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+}  // namespace tevot::util

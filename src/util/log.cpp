@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 #include "util/env.hpp"
 
@@ -19,6 +20,18 @@ LogLevel initialLevel() {
 std::atomic<int>& levelStorage() {
   static std::atomic<int> level{static_cast<int>(initialLevel())};
   return level;
+}
+
+/// Guards the sink pointer and every write to it: one fwrite per line
+/// under the lock keeps concurrent lines whole.
+std::mutex& sinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::FILE*& sinkStorage() {
+  static std::FILE* sink = nullptr;  // nullptr = stderr
+  return sink;
 }
 
 const char* levelTag(LogLevel level) {
@@ -43,9 +56,25 @@ void setLogLevel(LogLevel level) {
   levelStorage().store(static_cast<int>(level));
 }
 
+std::FILE* setLogSink(std::FILE* sink) {
+  const std::lock_guard<std::mutex> lock(sinkMutex());
+  std::FILE*& storage = sinkStorage();
+  std::FILE* previous = storage;
+  storage = sink;
+  return previous;
+}
+
 void logMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) > levelStorage().load()) return;
-  std::fprintf(stderr, "[tevot %s] %s\n", levelTag(level), message.c_str());
+  std::string line = "[tevot ";
+  line += levelTag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(sinkMutex());
+  std::FILE* sink = sinkStorage() != nullptr ? sinkStorage() : stderr;
+  std::fwrite(line.data(), 1, line.size(), sink);
+  std::fflush(sink);
 }
 
 }  // namespace tevot::util

@@ -3,8 +3,14 @@
 // The library itself is quiet by default; benches and examples raise
 // the level for progress reporting on long sweeps. TEVOT_LOG controls
 // the initial level (error|warn|info|debug).
+//
+// Thread safety: logMessage is line-atomic — the full line (prefix,
+// message, newline) is written with a single fwrite under one mutex,
+// so concurrent ThreadPool workers and serve threads never shear each
+// other's lines.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -15,7 +21,12 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
-/// Emits one line to stderr if `level` is enabled.
+/// Redirects log output (default stderr); returns the previous sink.
+/// nullptr restores stderr. The caller keeps ownership of the FILE.
+std::FILE* setLogSink(std::FILE* sink);
+
+/// Emits one line to the sink if `level` is enabled. Line-atomic
+/// across threads.
 void logMessage(LogLevel level, const std::string& message);
 
 namespace detail {

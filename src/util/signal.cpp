@@ -1,0 +1,99 @@
+#include "util/signal.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/status.hpp"
+
+namespace tevot::util {
+namespace {
+
+// One slot per signal number the process can watch. sig_atomic_t
+// writes are the only thing the handler does, which keeps it
+// async-signal-safe.
+constexpr int kMaxSignal = 64;
+volatile std::sig_atomic_t g_signal_flags[kMaxSignal + 1];
+volatile std::sig_atomic_t g_last_signal = 0;
+
+extern "C" void signalFlagHandler(int signum) {
+  if (signum >= 0 && signum <= kMaxSignal) {
+    g_signal_flags[signum] = 1;
+    g_last_signal = signum;
+  }
+}
+
+}  // namespace
+
+SignalFlag::SignalFlag(std::initializer_list<int> signums) {
+  for (const int signum : signums) {
+    if (signum <= 0 || signum > kMaxSignal) {
+      throw std::invalid_argument("SignalFlag: unsupported signal " +
+                                  std::to_string(signum));
+    }
+    struct sigaction action {};
+    action.sa_handler = signalFlagHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    struct sigaction previous {};
+    g_signal_flags[signum] = 0;
+    if (sigaction(signum, &action, &previous) != 0) {
+      throw StatusError(Status::internal(
+          "SignalFlag: sigaction(" + std::to_string(signum) +
+          "): " + errnoText(errno)));
+    }
+    signums_.push_back(signum);
+    previous_.push_back(previous);
+  }
+}
+
+SignalFlag::~SignalFlag() {
+  for (std::size_t i = signums_.size(); i-- > 0;) {
+    sigaction(signums_[i], &previous_[i], nullptr);
+    g_signal_flags[signums_[i]] = 0;
+  }
+}
+
+bool SignalFlag::raised() const {
+  for (const int signum : signums_) {
+    if (g_signal_flags[signum] != 0) return true;
+  }
+  return false;
+}
+
+int SignalFlag::lastSignal() const {
+  const int last = g_last_signal;
+  for (const int signum : signums_) {
+    if (signum == last && g_signal_flags[signum] != 0) return last;
+  }
+  // Fall back to any raised watched signal.
+  for (const int signum : signums_) {
+    if (g_signal_flags[signum] != 0) return signum;
+  }
+  return 0;
+}
+
+bool SignalFlag::consume() {
+  bool any = false;
+  for (const int signum : signums_) {
+    if (g_signal_flags[signum] != 0) {
+      g_signal_flags[signum] = 0;
+      any = true;
+    }
+  }
+  return any;
+}
+
+void SignalFlag::simulate(int signum) {
+  for (const int watched : signums_) {
+    if (watched == signum) {
+      signalFlagHandler(signum);
+      return;
+    }
+  }
+  throw std::invalid_argument("SignalFlag::simulate: signal " +
+                              std::to_string(signum) + " not watched");
+}
+
+void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace tevot::util

@@ -1,0 +1,51 @@
+// Async-signal-safe signal-to-flag plumbing.
+//
+// Long-running commands (tevot_serve, tevot_cli sweep) must react to
+// SIGTERM/SIGINT/SIGHUP cooperatively: the handler may only set a
+// flag, and the main loop polls it. SignalFlag installs one handler
+// per signal that sets a process-wide sig_atomic_t slot, and restores
+// the previous disposition on destruction, so tests and nested scopes
+// compose. Handlers are installed with SA_RESTART so slow syscalls
+// (file writes mid-checkpoint) are not broken by the signal; polling
+// loops built on poll()/sleep must handle EINTR themselves.
+#pragma once
+
+#include <csignal>
+#include <initializer_list>
+#include <vector>
+
+namespace tevot::util {
+
+class SignalFlag {
+ public:
+  /// Installs a flag-setting handler for each signal in `signums`.
+  /// Throws std::invalid_argument for unsupported signal numbers and
+  /// StatusError when sigaction fails.
+  explicit SignalFlag(std::initializer_list<int> signums);
+  ~SignalFlag();
+
+  SignalFlag(const SignalFlag&) = delete;
+  SignalFlag& operator=(const SignalFlag&) = delete;
+
+  /// Whether any watched signal arrived since construction/consume().
+  bool raised() const;
+  /// The most recent watched signal observed, or 0.
+  int lastSignal() const;
+  /// Test-and-clear: true when a signal had arrived.
+  bool consume();
+
+  /// For tests: behaves as if `signum` (which must be watched) was
+  /// delivered.
+  void simulate(int signum);
+
+ private:
+  std::vector<int> signums_;
+  std::vector<struct sigaction> previous_;
+};
+
+/// Ignores SIGPIPE process-wide (idempotent). Socket writers use
+/// MSG_NOSIGNAL too; this covers stray writes to closed pipes so a
+/// disconnecting client can never kill the process.
+void ignoreSigpipe();
+
+}  // namespace tevot::util

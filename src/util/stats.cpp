@@ -76,6 +76,63 @@ double Histogram::binLow(std::size_t bin) const {
 
 double Histogram::binHigh(std::size_t bin) const { return binLow(bin + 1); }
 
+std::size_t LatencyHistogram::bucketIndex(double ms) {
+  if (!(ms > kMinMs)) return 0;
+  const double decades = std::log10(ms / kMinMs);
+  const auto bucket = static_cast<std::size_t>(decades * 8.0);
+  return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+double LatencyHistogram::bucketLowMs(std::size_t bucket) {
+  return kMinMs * std::pow(10.0, static_cast<double>(bucket) / 8.0);
+}
+
+double LatencyHistogram::bucketHighMs(std::size_t bucket) {
+  return bucketLowMs(bucket + 1);
+}
+
+void LatencyHistogram::add(double ms) {
+  if (std::isnan(ms)) return;
+  if (ms < 0.0) ms = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = ms;
+  } else {
+    min_ = std::min(min_, ms);
+    max_ = std::max(max_, ms);
+  }
+  ++counts_[bucketIndex(ms)];
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::size_t>(q * static_cast<double>(count_ - 1));
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen > target) {
+      const double mid = std::sqrt(bucketLowMs(b) * bucketHighMs(b));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
 double Histogram::quantile(double q) const {
   if (total_ == 0) return lo_;
   q = std::clamp(q, 0.0, 1.0);

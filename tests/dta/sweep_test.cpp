@@ -376,5 +376,79 @@ TEST_F(SweepTest, DefaultJobKeysAreIndexDerived) {
   EXPECT_EQ(sweepJobKey(jobs_[2], 5), jobs_[2].name);
 }
 
+TEST_F(SweepTest, StopRequestedCancelsRemainingJobsButFlushesStarted) {
+  // Serial pool + a stop flag that flips after the first job starts:
+  // job 0 must complete and checkpoint, jobs 1..3 must be kCancelled
+  // without ever running.
+  const std::string dir = scratchDir("stop");
+  std::atomic<int> attempts{0};
+  util::ThreadPool pool(1);
+  util::FaultInjector no_faults;
+  SweepOptions options;
+  options.faults = &no_faults;
+  options.checkpoint_dir = dir;
+  options.stop_requested = [&attempts] { return attempts.load() >= 1; };
+  options.on_attempt = [&attempts](std::size_t, int) { ++attempts; };
+  const SweepResult result = runSweep(jobs_, pool, options);
+
+  EXPECT_FALSE(result.report.allOk());
+  EXPECT_EQ(result.report.outcomes[0].state, JobState::kSucceeded);
+  ASSERT_TRUE(result.traces[0].has_value());
+  EXPECT_TRUE(tracesBitIdentical(*result.traces[0], reference_[0]));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.report.outcomes[i].state, JobState::kCancelled)
+        << "job " << i;
+    EXPECT_EQ(result.report.outcomes[i].attempts, 0) << "job " << i;
+    EXPECT_EQ(result.report.outcomes[i].status.code, StatusCode::kCancelled)
+        << "job " << i;
+    EXPECT_FALSE(result.traces[i].has_value());
+  }
+  EXPECT_EQ(attempts.load(), 1);
+
+  // The interrupted run left a consistent checkpoint directory: a
+  // resumed run restores job 0 and computes only the cancelled rest,
+  // converging to the clean serial reference.
+  SweepOptions resume;
+  resume.faults = &no_faults;
+  resume.checkpoint_dir = dir;
+  resume.resume = true;
+  const SweepResult resumed = runSweep(jobs_, pool, resume);
+  EXPECT_TRUE(resumed.report.allOk()) << resumed.report.toText();
+  EXPECT_EQ(resumed.report.count(JobState::kRestored), 1u);
+  EXPECT_EQ(resumed.report.count(JobState::kSucceeded), 3u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(resumed.traces[i].has_value());
+    EXPECT_TRUE(tracesBitIdentical(*resumed.traces[i], reference_[i]));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SweepTest, StopBetweenRetriesCancelsTheJob) {
+  // Every attempt of every job throws; the stop flag flips after two
+  // attempts, so job 0 is cancelled between retries rather than
+  // exhausting its budget, and later jobs never start.
+  util::FaultInjector faults;
+  util::FaultPlan plan = allFaulty("job.exception");
+  plan.fail_attempts = 1000;
+  faults.arm(plan);
+  std::atomic<int> attempts{0};
+  util::ThreadPool pool(1);
+  SweepOptions options;
+  options.faults = &faults;
+  options.max_retries = 5;
+  options.backoff_ms = 0.1;
+  options.stop_requested = [&attempts] { return attempts.load() >= 2; };
+  options.on_attempt = [&attempts](std::size_t, int) { ++attempts; };
+  const SweepResult result = runSweep(jobs_, pool, options);
+
+  EXPECT_EQ(result.report.outcomes[0].state, JobState::kCancelled);
+  EXPECT_EQ(result.report.outcomes[0].attempts, 2);  // not 6
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.report.outcomes[i].state, JobState::kCancelled);
+    EXPECT_EQ(result.report.outcomes[i].attempts, 0);
+  }
+  EXPECT_EQ(attempts.load(), 2);
+}
+
 }  // namespace
 }  // namespace tevot::dta

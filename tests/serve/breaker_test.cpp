@@ -1,0 +1,79 @@
+// Circuit-breaker state-machine tests with caller-injected time, so
+// the cooldown transitions are exercised without sleeping.
+#include "serve/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tevot::serve {
+namespace {
+
+using Clock = CircuitBreaker::Clock;
+using State = CircuitBreaker::State;
+
+Clock::time_point at(double ms) {
+  return Clock::time_point() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double, std::milli>(ms));
+}
+
+TEST(BreakerTest, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker({3, 100.0});
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  breaker.recordFailure(at(1));
+  breaker.recordFailure(at(2));
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.consecutiveFailures(), 2);
+  EXPECT_TRUE(breaker.allow(at(3)));
+  // A success resets the consecutive count: failures must be
+  // consecutive to trip.
+  breaker.recordSuccess();
+  EXPECT_EQ(breaker.consecutiveFailures(), 0);
+  breaker.recordFailure(at(4));
+  breaker.recordFailure(at(5));
+  EXPECT_EQ(breaker.state(), State::kClosed);
+}
+
+TEST(BreakerTest, TripsOpenAtThresholdAndRejects) {
+  CircuitBreaker breaker({3, 100.0});
+  breaker.recordFailure(at(1));
+  breaker.recordFailure(at(2));
+  breaker.recordFailure(at(3));
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.allow(at(50)));   // inside cooldown
+  EXPECT_FALSE(breaker.allow(at(102)));  // cooldown from t=3 ends t=103
+}
+
+TEST(BreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker({2, 100.0});
+  breaker.recordFailure(at(0));
+  breaker.recordFailure(at(0));
+  ASSERT_EQ(breaker.state(), State::kOpen);
+  EXPECT_TRUE(breaker.allow(at(150)));  // cooldown elapsed: the probe
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(at(151)));  // only one probe in flight
+  breaker.recordSuccess();
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_TRUE(breaker.allow(at(152)));
+}
+
+TEST(BreakerTest, FailedProbeReopensWithFreshCooldown) {
+  CircuitBreaker breaker({2, 100.0});
+  breaker.recordFailure(at(0));
+  breaker.recordFailure(at(0));
+  EXPECT_TRUE(breaker.allow(at(150)));
+  breaker.recordFailure(at(150));
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.allow(at(200)));  // fresh cooldown from t=150
+  EXPECT_TRUE(breaker.allow(at(251)));
+}
+
+TEST(BreakerTest, StateNames) {
+  EXPECT_STREQ(breakerStateName(State::kClosed), "closed");
+  EXPECT_STREQ(breakerStateName(State::kOpen), "open");
+  EXPECT_STREQ(breakerStateName(State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace tevot::serve

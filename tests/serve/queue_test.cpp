@@ -1,0 +1,58 @@
+// Bounded admission-queue semantics: explicit rejection when full,
+// FIFO order, and close() draining pending items before pop returns
+// nullopt — the properties the shed/drain paths are built on.
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tevot::serve {
+namespace {
+
+TEST(BoundedQueueTest, RejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.tryPush(1));
+  EXPECT_TRUE(queue.tryPush(2));
+  EXPECT_FALSE(queue.tryPush(3));  // full => caller sheds
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.capacity(), 2u);
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.tryPush(3));
+}
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.tryPush(i));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(queue.pop().value(), i);
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingThenEnds) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.tryPush(10));
+  ASSERT_TRUE(queue.tryPush(11));
+  queue.close();
+  EXPECT_FALSE(queue.tryPush(12));  // closed rejects new work
+  EXPECT_EQ(queue.pop().value(), 10);  // admitted work still drains
+  EXPECT_EQ(queue.pop().value(), 11);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPop) {
+  BoundedQueue<int> queue(1);
+  std::thread popper([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  popper.join();
+}
+
+TEST(BoundedQueueTest, PushWakesBlockedPop) {
+  BoundedQueue<int> queue(1);
+  std::thread popper([&] { EXPECT_EQ(queue.pop().value(), 42); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(queue.tryPush(42));
+  popper.join();
+}
+
+}  // namespace
+}  // namespace tevot::serve

@@ -1,0 +1,56 @@
+// Shared fixture for the serve tests: a tiny-but-real int_add model
+// pair trained once per test binary (A is saved into the model
+// directory; B is a differently-seeded model for hot-reload tests).
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tevot/model.hpp"
+#include "tevot/pipeline.hpp"
+
+namespace tevot::serve_test {
+
+struct ServeTestModels {
+  core::TevotModel model_a;
+  core::TevotModel model_b;
+  std::string dir;  ///< holds int_add.model == model_a initially
+
+  std::string modelPath() const { return dir + "/int_add.model"; }
+};
+
+inline const ServeTestModels& serveTestModels() {
+  static const ServeTestModels* models = [] {
+    auto* m = new ServeTestModels;
+    core::FuContext context(circuits::FuKind::kIntAdd);
+    util::Rng rng(4242);
+    std::vector<dta::DtaTrace> traces;
+    for (const liberty::Corner corner :
+         {liberty::Corner{0.85, 25.0}, liberty::Corner{1.00, 75.0}}) {
+      traces.push_back(context.characterize(
+          corner, dta::randomWorkloadFor(context.kind(), 100, rng)));
+    }
+    core::TevotConfig config;
+    config.forest.n_trees = 4;
+    util::Rng rng_a(1);
+    util::Rng rng_b(2);
+    m->model_a = core::TevotModel(config);
+    m->model_a.train(traces, rng_a);
+    m->model_b = core::TevotModel(config);
+    m->model_b.train(traces, rng_b);
+    const std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) /
+        ("tevot_serve_models_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    m->dir = dir.string();
+    m->model_a.save(m->modelPath());
+    return m;
+  }();
+  return *models;
+}
+
+}  // namespace tevot::serve_test

@@ -148,6 +148,52 @@ TEST(CliTest, PermanentFaultsFailTheSweepWithReport) {
   std::filesystem::remove(report);
 }
 
+TEST(CliTest, SigintMidSweepCheckpointsAndExits130) {
+  // A slow sweep (every job sleeps 400 ms via the job.slow fault
+  // point, serial pool) is interrupted from the shell mid-run. The
+  // CLI must flush the in-flight corner's checkpoint, report the
+  // interruption, and exit 130; a --resume run then converges without
+  // recomputing the completed corners.
+  const std::string dir = scratchDir("sigint");
+  const std::string script =
+      "env TEVOT_FAULTS='points=job.slow;rate=1.0;seed=1;attempts=1;"
+      "slow-ms=400' '" +
+      std::string(TEVOT_CLI_BINARY) + "' --jobs=1 sweep int_add 20 "
+      "--grid 3x3 --seed 4 --out '" + dir + "' 2>&1 & pid=$!; "
+      "sleep 1; kill -INT $pid; wait $pid; echo EXIT=$?";
+  RunResult result;
+  FILE* pipe = popen(script.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::array<char, 4096> buffer;
+  std::size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  pclose(pipe);
+  EXPECT_NE(result.output.find("EXIT=130"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("sweep interrupted by signal 2"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("rerun with --resume"), std::string::npos)
+      << result.output;
+  // The interrupted run checkpointed at least its in-flight corner,
+  // and left nothing torn: resume completes the remaining 9.
+  const std::size_t checkpointed = countTraceFiles(dir);
+  EXPECT_GE(checkpointed, 1u) << result.output;
+  EXPECT_LT(checkpointed, 9u) << result.output;
+
+  const RunResult resumed = runCli(
+      "--jobs=1 sweep int_add 20 --grid 3x3 --seed 4 --out '" + dir +
+      "' --resume");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find(std::to_string(checkpointed) + " restored"),
+            std::string::npos)
+      << resumed.output;
+  EXPECT_EQ(countTraceFiles(dir), 9u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CliTest, BadFaultSpecIsRuntimeError) {
   const RunResult result =
       runCli("sweep int_add 20", "TEVOT_FAULTS='bogus-key=1'");

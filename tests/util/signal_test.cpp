@@ -1,0 +1,59 @@
+// SignalFlag tests: real delivery via raise(), test-and-clear
+// semantics, nested scopes restoring previous dispositions, and
+// rejection of unsupported signal numbers.
+#include "util/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <stdexcept>
+
+namespace tevot::util {
+namespace {
+
+TEST(SignalFlagTest, StartsClear) {
+  SignalFlag flag{SIGUSR1};
+  EXPECT_FALSE(flag.raised());
+  EXPECT_EQ(flag.lastSignal(), 0);
+  EXPECT_FALSE(flag.consume());
+}
+
+TEST(SignalFlagTest, RealDeliverySetsFlag) {
+  SignalFlag flag{SIGUSR1, SIGUSR2};
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  EXPECT_TRUE(flag.raised());
+  EXPECT_EQ(flag.lastSignal(), SIGUSR1);
+  ASSERT_EQ(std::raise(SIGUSR2), 0);
+  EXPECT_EQ(flag.lastSignal(), SIGUSR2);
+}
+
+TEST(SignalFlagTest, ConsumeIsTestAndClear) {
+  SignalFlag flag{SIGUSR1};
+  flag.simulate(SIGUSR1);
+  EXPECT_TRUE(flag.consume());
+  EXPECT_FALSE(flag.consume());
+  EXPECT_FALSE(flag.raised());
+}
+
+TEST(SignalFlagTest, SimulateRequiresWatchedSignal) {
+  SignalFlag flag{SIGUSR1};
+  EXPECT_THROW(flag.simulate(SIGUSR2), std::invalid_argument);
+}
+
+TEST(SignalFlagTest, DestructorRestoresPreviousDisposition) {
+  SignalFlag outer{SIGUSR1};
+  {
+    SignalFlag inner{SIGUSR1};
+    ASSERT_EQ(std::raise(SIGUSR1), 0);
+    EXPECT_TRUE(inner.consume());
+  }
+  // With the inner scope gone, delivery lands in the outer flag again
+  // (not in a dangling handler, and not in the default disposition
+  // which would kill the test).
+  EXPECT_FALSE(outer.consume());
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  EXPECT_TRUE(outer.raised());
+}
+
+}  // namespace
+}  // namespace tevot::util

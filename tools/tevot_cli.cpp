@@ -17,6 +17,8 @@
 //             [--job-deadline MS] [--fail-fast] [--report FILE]
 //   tevot_cli lint <fu>|--all [--grid NVxNT] [--budget PS]
 //             [--waivers FILE] [--sdf FILE] [--json FILE]
+//   tevot_cli serve-check <port> <model-file> <fu> [--clients N]
+//             [--requests N] [--seed S]
 //
 // FU names: int_add, int_mul, fp_add, fp_mul. Numeric operands accept
 // 0x-prefixed hex. `train` uses the Fig. 3 3x3 corner subset with
@@ -43,6 +45,16 @@
 // checkpointed atomically into --out, and --resume restores completed
 // corners from disk. The TEVOT_FAULTS environment spec arms
 // deterministic fault injection (see util/fault_injection.hpp).
+// SIGINT/SIGTERM stop a sweep cooperatively: the in-flight corner
+// finishes and flushes its checkpoint, the report is printed, and the
+// process exits 130 — a subsequent --resume run picks up cleanly.
+//
+// `serve-check` drives a running tevot_serve instance on
+// 127.0.0.1:<port> with concurrent clients (including malformed
+// lines) and verifies the serving resilience contract against the
+// offline model file: exactly one well-formed response per request,
+// and OK answers bit-identical to local prediction. Exit 3 on any
+// contract violation — this is the CI serve smoke check.
 //
 // The global `--jobs N` option (or TEVOT_JOBS) sets the worker count
 // for the parallel commands (`train`, `sweep`); N=0 means one job per
@@ -62,10 +74,12 @@
 
 #include "util/env.hpp"
 #include "util/fault_injection.hpp"
+#include "util/signal.hpp"
 #include "util/thread_pool.hpp"
 
 #include "check/oracles.hpp"
 #include "check/property.hpp"
+#include "check/serve_oracle.hpp"
 #include "check/sweep_oracle.hpp"
 #include "dta/sweep.hpp"
 #include "liberty/lib_format.hpp"
@@ -86,6 +100,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitCheckFailed = 3;
+constexpr int kExitInterrupted = 130;  // 128 + SIGINT, shell convention
 
 int usage() {
   std::fprintf(stderr,
@@ -107,11 +122,15 @@ int usage() {
                "  lint <fu>|--all [--grid NVxNT] [--budget PS] "
                "[--waivers FILE]\n"
                "       [--sdf FILE] [--json FILE]\n"
+               "  serve-check <port> <model-file> <fu> [--clients N] "
+               "[--requests N]\n"
+               "              [--seed S]\n"
                "fu: int_add | int_mul | fp_add | fp_mul\n"
                "--jobs N: worker threads for parallel commands "
                "(0 = hardware threads)\n"
                "exit codes: 0 ok, 1 runtime failure, 2 usage, "
-               "3 check failure\n");
+               "3 check failure,\n"
+               "            130 sweep interrupted by SIGINT/SIGTERM\n");
   return kExitUsage;
 }
 
@@ -295,6 +314,7 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
   properties.emplace_back("model-round-trip", check::checkModelRoundTrip);
   properties.emplace_back("sweep/fault-tolerance",
                           check::checkSweepFaultTolerance);
+  properties.emplace_back("serve/resilience", check::checkServeResilience);
   if (util::envFlag("TEVOT_CHECK_FORCE_FAIL")) {
     // Internal self-test knob: a property that always fails, so the
     // exit-code taxonomy (3 = check failure) can be tested end to end.
@@ -521,6 +541,12 @@ int cmdSweep(int argc, char** argv, util::ThreadPool& pool) {
                 options.faults->plan().spec().c_str());
   }
 
+  // Cooperative interruption: the first SIGINT/SIGTERM stops new
+  // corners from starting; the in-flight corner completes and flushes
+  // its checkpoint so --resume always sees a consistent directory.
+  util::SignalFlag stop{SIGINT, SIGTERM};
+  options.stop_requested = [&stop] { return stop.raised(); };
+
   core::FuContext context(kind);
   const auto corners =
       core::OperatingGrid::paper().subsampled(grid_v, grid_t);
@@ -554,7 +580,72 @@ int cmdSweep(int argc, char** argv, util::ThreadPool& pool) {
     report << result.report.toText();
     std::printf("wrote %s\n", report_path.c_str());
   }
+  if (stop.raised()) {
+    std::printf(
+        "sweep interrupted by signal %d; completed corners are "
+        "checkpointed%s\n",
+        stop.lastSignal(),
+        options.checkpoint_dir.empty() ? "" : " — rerun with --resume");
+    std::fflush(stdout);
+    return kExitInterrupted;
+  }
   return result.report.allOk() ? kExitOk : kExitRuntime;
+}
+
+int cmdServeCheck(int argc, char** argv) {
+  int port = -1;
+  std::string model_path;
+  std::string fu;
+  check::ServeDriveOptions options;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve-check: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--clients") {
+      const char* v = value("--clients");
+      if (v == nullptr) return usage();
+      options.clients = static_cast<int>(std::atol(v));
+    } else if (arg == "--requests") {
+      const char* v = value("--requests");
+      if (v == nullptr) return usage();
+      options.requests_per_client = static_cast<int>(std::atol(v));
+    } else if (arg == "--seed") {
+      const char* v = value("--seed");
+      if (v == nullptr) return usage();
+      seed = std::strtoull(v, nullptr, 0);
+    } else if (port < 0) {
+      port = static_cast<int>(std::atol(arg.c_str()));
+    } else if (model_path.empty()) {
+      model_path = arg;
+    } else if (fu.empty()) {
+      fu = arg;
+    } else {
+      return usage();
+    }
+  }
+  circuits::FuKind kind;
+  if (port <= 0 || port > 65535 || model_path.empty() || fu.empty() ||
+      !fuFromName(fu, kind) || options.clients < 1 ||
+      options.requests_per_client < 1) {
+    return usage();
+  }
+  const core::TevotModel reference = core::TevotModel::load(model_path);
+  try {
+    check::driveAndVerifyServer(reference, fu, port, seed, options);
+  } catch (const check::PropertyViolation& violation) {
+    std::fprintf(stderr, "serve-check: FAIL: %s\n", violation.what());
+    return kExitCheckFailed;
+  }
+  std::printf("serve-check: ok (%d clients x %d requests, seed %llu)\n",
+              options.clients, options.requests_per_client,
+              static_cast<unsigned long long>(seed));
+  return kExitOk;
 }
 
 }  // namespace
@@ -629,6 +720,7 @@ int main(int argc, char** argv) {
     }
     if (command == "sweep") return cmdSweep(argc, argv, pool);
     if (command == "lint") return cmdLint(argc, argv);
+    if (command == "serve-check") return cmdServeCheck(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "tevot_cli: %s\n", error.what());
     return kExitRuntime;
