@@ -151,17 +151,21 @@ util::Status parseRequest(std::string_view line, Request* out) {
                                   : RequestKind::kReload;
     return util::Status::okStatus();
   }
-  if (verb != "predict") {
+  const bool is_batch = verb == "predictN";
+  if (verb != "predict" && !is_batch) {
     return util::Status::parseError("unknown verb '" + std::string(verb) +
                                     "'");
   }
-  if (tokens.size() != 9 && tokens.size() != 10) {
-    return util::Status::parseError(
-        "predict takes 8 or 9 arguments, got " +
-        std::to_string(tokens.size() - 1));
+  // Shared head: <fu> <V> <T> <tclk_ps>, then either the single
+  // operand tuple or <n> and n tuples, then an optional deadline.
+  if (tokens.size() < (is_batch ? 10u : 9u)) {
+    return util::Status::parseError(std::string(verb) +
+                                    " is missing arguments, got " +
+                                    std::to_string(tokens.size() - 1));
   }
-  out->kind = RequestKind::kPredict;
+  out->kind = is_batch ? RequestKind::kPredictBatch : RequestKind::kPredict;
   out->fu = std::string(tokens[1]);
+  out->batch.clear();
   struct Field {
     const char* name;
     std::string_view token;
@@ -179,36 +183,89 @@ util::Status parseRequest(std::string_view line, Request* out) {
           "' is not a finite number");
     }
   }
-  struct WordField {
-    const char* name;
-    std::string_view token;
-    std::uint32_t* value;
-  };
-  const WordField words[] = {
-      {"a", tokens[5], &out->a},
-      {"b", tokens[6], &out->b},
-      {"prev_a", tokens[7], &out->prev_a},
-      {"prev_b", tokens[8], &out->prev_b},
-  };
-  for (const WordField& field : words) {
-    if (!parseWord32(field.token, field.value)) {
+  std::size_t tuple_count = 1;
+  std::size_t tuples_at = 5;  // first tuple token index
+  if (is_batch) {
+    std::uint32_t n = 0;
+    if (!parseWord32(tokens[5], &n)) {
       return util::Status::invalidArgument(
-          std::string(field.name) + " '" + std::string(field.token) +
-          "' is not a 32-bit operand");
+          "n '" + std::string(tokens[5]) + "' is not a batch size");
+    }
+    if (n == 0) {
+      return util::Status::invalidArgument(
+          "predictN needs at least one operand tuple");
+    }
+    if (n > kMaxBatchTuples) {
+      return util::Status::invalidArgument(
+          "predictN batch of " + std::to_string(n) + " exceeds the cap of " +
+          std::to_string(kMaxBatchTuples));
+    }
+    tuple_count = n;
+    tuples_at = 6;
+  }
+  const std::size_t after_tuples = tuples_at + 4 * tuple_count;
+  if (tokens.size() != after_tuples && tokens.size() != after_tuples + 1) {
+    return util::Status::invalidArgument(
+        std::string(verb) + " expects " + std::to_string(tuple_count) +
+        " operand tuple(s) and an optional deadline, got " +
+        std::to_string(tokens.size() - tuples_at) + " trailing tokens");
+  }
+  const char* const tuple_names[] = {"a", "b", "prev_a", "prev_b"};
+  for (std::size_t tuple = 0; tuple < tuple_count; ++tuple) {
+    BatchOperand operand;
+    std::uint32_t* const slots[] = {&operand.a, &operand.b,
+                                    &operand.prev_a, &operand.prev_b};
+    for (std::size_t w = 0; w < 4; ++w) {
+      const std::string_view token = tokens[tuples_at + 4 * tuple + w];
+      if (!parseWord32(token, slots[w])) {
+        return util::Status::invalidArgument(
+            std::string(tuple_names[w]) + " '" + std::string(token) +
+            "' in tuple " + std::to_string(tuple) +
+            " is not a 32-bit operand");
+      }
+    }
+    if (is_batch) {
+      out->batch.push_back(operand);
+    } else {
+      out->a = operand.a;
+      out->b = operand.b;
+      out->prev_a = operand.prev_a;
+      out->prev_b = operand.prev_b;
     }
   }
   out->deadline_ms = 0.0;
-  if (tokens.size() == 10 &&
-      (!parseFiniteDouble(tokens[9], &out->deadline_ms) ||
+  if (tokens.size() == after_tuples + 1 &&
+      (!parseFiniteDouble(tokens[after_tuples], &out->deadline_ms) ||
        out->deadline_ms < 0.0)) {
     return util::Status::invalidArgument(
-        "deadline_ms '" + std::string(tokens[9]) +
+        "deadline_ms '" + std::string(tokens[after_tuples]) +
         "' is not a finite non-negative number");
   }
   if (out->tclk_ps <= 0.0) {
     return util::Status::invalidArgument("tclk_ps must be > 0");
   }
   return util::Status::okStatus();
+}
+
+std::string formatBatchRequest(const std::string& fu, double voltage,
+                               double temperature, double tclk_ps,
+                               std::span<const BatchOperand> operands,
+                               double deadline_ms) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "predictN %s %a %a %a %zu",
+                fu.c_str(), voltage, temperature, tclk_ps,
+                operands.size());
+  std::string line = buf;
+  for (const BatchOperand& operand : operands) {
+    std::snprintf(buf, sizeof(buf), " %u %u %u %u", operand.a, operand.b,
+                  operand.prev_a, operand.prev_b);
+    line += buf;
+  }
+  if (deadline_ms > 0.0) {
+    std::snprintf(buf, sizeof(buf), " %a", deadline_ms);
+    line += buf;
+  }
+  return line;
 }
 
 Response responseForParseFailure(const util::Status& status) {

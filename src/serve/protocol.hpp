@@ -5,6 +5,8 @@
 // kMaxLineBytes are rejected with ERROR OVERSIZED; blank lines are
 // ignored):
 //   predict <fu> <V> <T> <tclk_ps> <a> <b> <prev_a> <prev_b> [deadline_ms]
+//   predictN <fu> <V> <T> <tclk_ps> <n> {<a> <b> <prev_a> <prev_b>}*n
+//            [deadline_ms]
 //   health
 //   stats
 //   reload
@@ -12,6 +14,18 @@
 // hexfloat doubles and must be finite (NaN/inf are BAD_REQUEST, never
 // a crash or a silent wrong answer); tclk must be > 0 and deadline
 // >= 0 (0 = server default).
+//
+// predictN is the batch form: n operand tuples sharing one corner,
+// clock, and deadline, answered with exactly n typed response lines
+// in tuple order (each drawn from the same taxonomy as a single
+// predict — a shed or expired batch yields n SHED/DEADLINE lines,
+// never silence). n must be in [1, kMaxBatchTuples]; n = 0, oversized
+// n, and a malformed tuple anywhere in the batch are one BAD_REQUEST
+// for the whole line (parse failures are per-line, tuple responses
+// are per-tuple). Batches amortize per-request parse/dispatch cost
+// and are served by the flat batched engine
+// (TevotModel::predictDelayBatch), which is bit-identical to the
+// scalar path.
 //
 // Response grammar (always a single line; the first token is the
 // response status, the full taxonomy a client must handle):
@@ -29,8 +43,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.hpp"
 
@@ -40,11 +56,25 @@ namespace tevot::serve {
 /// lines get one ERROR OVERSIZED response and are discarded.
 inline constexpr std::size_t kMaxLineBytes = 4096;
 
-enum class RequestKind { kPredict, kHealth, kStats, kReload };
+/// Cap on predictN tuples per line. (The line-byte cap applies on top
+/// of this: a batch that still fits kMaxBatchTuples but overflows
+/// kMaxLineBytes is OVERSIZED.)
+inline constexpr std::size_t kMaxBatchTuples = 256;
+
+enum class RequestKind { kPredict, kPredictBatch, kHealth, kStats,
+                         kReload };
+
+/// One operand tuple of a predictN batch.
+struct BatchOperand {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t prev_a = 0;
+  std::uint32_t prev_b = 0;
+};
 
 struct Request {
   RequestKind kind = RequestKind::kPredict;
-  std::string fu;            ///< functional-unit name (predict only)
+  std::string fu;            ///< functional-unit name (predict forms)
   double voltage = 0.0;      ///< [V]
   double temperature = 0.0;  ///< [deg C]
   double tclk_ps = 0.0;      ///< clock period to classify against
@@ -53,6 +83,14 @@ struct Request {
   std::uint32_t prev_a = 0;
   std::uint32_t prev_b = 0;
   double deadline_ms = 0.0;  ///< 0 = server default
+  /// predictN tuples (kPredictBatch only), size in [1,kMaxBatchTuples].
+  std::vector<BatchOperand> batch;
+
+  /// Tuples this request is answered with: batch size for
+  /// kPredictBatch, 1 otherwise.
+  std::size_t responseCount() const {
+    return kind == RequestKind::kPredictBatch ? batch.size() : 1;
+  }
 };
 
 enum class ResponseStatus { kOk, kShed, kDeadline, kError };
@@ -97,6 +135,14 @@ struct Response {
 /// returns the ERROR response to send (kParse/kBadRequest), leaving
 /// `out` unspecified. Blank lines must be filtered by the caller.
 util::Status parseRequest(std::string_view line, Request* out);
+
+/// Formats a predictN request line (no trailing newline). V/T/tclk
+/// are printed as hexfloats so the server parses back the caller's
+/// doubles bit for bit. deadline_ms <= 0 omits the trailing deadline.
+std::string formatBatchRequest(const std::string& fu, double voltage,
+                               double temperature, double tclk_ps,
+                               std::span<const BatchOperand> operands,
+                               double deadline_ms = 0.0);
 
 /// Maps a parse failure Status onto the typed wire error.
 Response responseForParseFailure(const util::Status& status);

@@ -258,15 +258,26 @@ void Server::handleLine(Connection* connection, std::string_view line) {
   Request request;
   const util::Status parsed = parseRequest(line, &request);
   if (!parsed.ok()) {
+    // Parse failures are per-line: one BAD_REQUEST/PARSE even for a
+    // malformed predictN (there is no trustworthy tuple count yet).
     writeResponse(connection, responseForParseFailure(parsed));
     return;
   }
-  if (request.kind != RequestKind::kPredict) {
+  // From here the line is a well-formed request answered with
+  // responseCount() lines; count each tuple toward the
+  // requests == ok+shed+deadline+errors invariant.
+  const std::size_t lines = request.responseCount();
+  if (lines > 1) {
+    metrics_.requests.fetch_add(lines - 1, std::memory_order_relaxed);
+  }
+  if (request.kind != RequestKind::kPredict &&
+      request.kind != RequestKind::kPredictBatch) {
     writeResponse(connection, handleControl(request));
     return;
   }
   if (draining_.load()) {
-    writeResponse(connection, Response::shed("draining"));
+    const std::vector<Response> shed(lines, Response::shed("draining"));
+    writeResponses(connection, shed);
     return;
   }
   Task task;
@@ -279,12 +290,13 @@ void Server::handleLine(Connection* connection, std::string_view line) {
   // Admission-time model snapshot: this request is served entirely
   // from one generation even if a reload lands while it is queued.
   task.models = registry_.snapshot();
-  std::future<Response> future = task.promise.get_future();
+  std::future<std::vector<Response>> future = task.promise.get_future();
   if (!queue_->tryPush(std::move(task))) {
-    writeResponse(connection, Response::shed("queue full"));
+    const std::vector<Response> shed(lines, Response::shed("queue full"));
+    writeResponses(connection, shed);
     return;
   }
-  writeResponse(connection, future.get());
+  writeResponses(connection, future.get());
 }
 
 Response Server::handleControl(const Request& request) {
@@ -314,6 +326,7 @@ Response Server::handleControl(const Request& request) {
           " models=" + std::to_string(set->models.size()));
     }
     case RequestKind::kPredict:
+    case RequestKind::kPredictBatch:
       break;
   }
   return Response::error(ErrorCode::kInternal, "bad control dispatch");
@@ -322,38 +335,49 @@ Response Server::handleControl(const Request& request) {
 void Server::workerLoop() {
   while (std::optional<Task> task = queue_->pop()) {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
-    Response response = processTask(*task);
-    task->promise.set_value(std::move(response));
+    std::vector<Response> responses = processTask(*task);
+    task->promise.set_value(std::move(responses));
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-Response Server::processTask(Task& task) {
-  if (shed_all_.load()) return Response::shed("draining");
+std::vector<Response> Server::processTask(Task& task) {
+  // A batch fails or succeeds as a unit up to the predict call: shed,
+  // deadline, breaker, and fault outcomes are replicated per tuple so
+  // the client still receives exactly n lines. Fault points and the
+  // breaker fire once per batch (keyed by task id), not per tuple.
+  const std::size_t lines = task.request.responseCount();
+  const auto replicate = [lines](Response response) {
+    return std::vector<Response>(lines, std::move(response));
+  };
+  if (shed_all_.load()) return replicate(Response::shed("draining"));
   const double waited_ms = msSince(task.arrival);
   if (task.deadline_ms > 0.0 && waited_ms > task.deadline_ms) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "queued %.3f ms > deadline %.3f ms",
                   waited_ms, task.deadline_ms);
-    return Response::deadline(buf);
+    return replicate(Response::deadline(buf));
   }
   const auto breaker_it = breakers_.find(task.request.fu);
   if (breaker_it == breakers_.end()) {
-    return Response::error(ErrorCode::kUnknownFu,
-                           "unknown fu '" + task.request.fu + "'");
+    return replicate(Response::error(
+        ErrorCode::kUnknownFu, "unknown fu '" + task.request.fu + "'"));
   }
   const core::TevotModel* model =
       task.models != nullptr ? task.models->find(task.request.fu) : nullptr;
   if (model == nullptr) {
-    return Response::error(ErrorCode::kModelUnavailable,
-                           "no model loaded for '" + task.request.fu + "'");
+    return replicate(Response::error(
+        ErrorCode::kModelUnavailable,
+        "no model loaded for '" + task.request.fu + "'"));
   }
   CircuitBreaker& breaker = breaker_it->second;
   if (!breaker.allow()) {
-    return Response::error(ErrorCode::kBreakerOpen,
-                           "breaker open for '" + task.request.fu + "'");
+    return replicate(Response::error(
+        ErrorCode::kBreakerOpen,
+        "breaker open for '" + task.request.fu + "'"));
   }
-  double delay_ps = 0.0;
+  const bool is_batch = task.request.kind == RequestKind::kPredictBatch;
+  std::vector<double> delays(lines, 0.0);
   try {
     // serve.slow (delay) is a separate point from serve.predict
     // (failure) so tests can arm slow backends without also arming
@@ -362,19 +386,29 @@ Response Server::processTask(Task& task) {
     faults_->maybeThrow("serve.predict", std::to_string(task.id));
     const liberty::Corner corner{task.request.voltage,
                                  task.request.temperature};
-    delay_ps = model->predictDelay(task.request.a, task.request.b,
-                                   task.request.prev_a, task.request.prev_b,
-                                   corner);
+    if (is_batch) {
+      std::vector<core::DelayQuery> queries(task.request.batch.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        const BatchOperand& operand = task.request.batch[i];
+        queries[i] = {operand.a, operand.b, operand.prev_a, operand.prev_b,
+                      corner};
+      }
+      model->predictDelayBatch(queries, delays);
+    } else {
+      delays[0] = model->predictDelay(task.request.a, task.request.b,
+                                      task.request.prev_a,
+                                      task.request.prev_b, corner);
+    }
   } catch (const util::StatusError& error) {
     breaker.recordFailure();
     const ErrorCode code =
         error.status().code == util::StatusCode::kFaultInjected
             ? ErrorCode::kFaultInjected
             : ErrorCode::kInternal;
-    return Response::error(code, error.status().message);
+    return replicate(Response::error(code, error.status().message));
   } catch (const std::exception& error) {
     breaker.recordFailure();
-    return Response::error(ErrorCode::kInternal, error.what());
+    return replicate(Response::error(ErrorCode::kInternal, error.what()));
   }
   breaker.recordSuccess();
   const double total_ms = msSince(task.arrival);
@@ -382,30 +416,45 @@ Response Server::processTask(Task& task) {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "served in %.3f ms > deadline %.3f ms",
                   total_ms, task.deadline_ms);
-    return Response::deadline(buf);
+    return replicate(Response::deadline(buf));
   }
   metrics_.recordLatencyMs(total_ms);
-  return Response::ok(delay_ps, delay_ps > task.request.tclk_ps);
+  std::vector<Response> responses;
+  responses.reserve(lines);
+  for (const double delay_ps : delays) {
+    responses.push_back(
+        Response::ok(delay_ps, delay_ps > task.request.tclk_ps));
+  }
+  return responses;
 }
 
 void Server::writeResponse(Connection* connection,
                            const Response& response) {
-  switch (response.status) {
-    case ResponseStatus::kOk:
-      metrics_.ok.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ResponseStatus::kShed:
-      metrics_.shed.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ResponseStatus::kDeadline:
-      metrics_.deadline.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ResponseStatus::kError:
-      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
-      break;
+  writeResponses(connection, std::span<const Response>(&response, 1));
+}
+
+void Server::writeResponses(Connection* connection,
+                            std::span<const Response> responses) {
+  std::string lines;
+  for (const Response& response : responses) {
+    switch (response.status) {
+      case ResponseStatus::kOk:
+        metrics_.ok.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseStatus::kShed:
+        metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseStatus::kDeadline:
+        metrics_.deadline.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ResponseStatus::kError:
+        metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    lines += response.serialize();
+    lines += '\n';
   }
-  const std::string line = response.serialize() + "\n";
-  sendAll(connection->fd.get(), line.data(), line.size());
+  sendAll(connection->fd.get(), lines.data(), lines.size());
 }
 
 MetricsSnapshot Server::drainAndStop() {

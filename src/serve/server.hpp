@@ -5,7 +5,11 @@
 // reads request lines, admits predict work into the bounded queue
 // (full queue => typed SHED, never a silent drop), and blocks for that
 // request's response before reading the next line, so responses are
-// trivially ordered and every request gets exactly one. Workers pop
+// trivially ordered and every request gets exactly one — a predictN
+// batch occupies one queue slot and is answered with exactly n typed
+// lines in tuple order (a shed/expired batch yields n SHED/DEADLINE
+// lines; the metrics invariant requests == ok+shed+deadline+errors
+// counts each tuple as a request). Workers pop
 // tasks, enforce the end-to-end deadline (admission wait + compute),
 // route through the per-FU circuit breaker, and predict against the
 // immutable model snapshot captured at admission (reload atomicity).
@@ -33,6 +37,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -103,7 +108,9 @@ class Server {
     double deadline_ms = 0.0;
     std::uint64_t id = 0;
     std::shared_ptr<const ModelSet> models;
-    std::promise<Response> promise;
+    /// One entry per response line: batch tuples for kPredictBatch,
+    /// a single entry otherwise.
+    std::promise<std::vector<Response>> promise;
   };
 
   struct Connection {
@@ -117,10 +124,17 @@ class Server {
   void workerLoop();
   void handleLine(Connection* connection, std::string_view line);
   Response handleControl(const Request& request);
-  Response processTask(Task& task);
+  /// One Response per expected line (request.responseCount() of them);
+  /// batch predicts run through TevotModel::predictDelayBatch, batch
+  /// shed/deadline/error outcomes are replicated per tuple.
+  std::vector<Response> processTask(Task& task);
   /// Serializes, appends '\n', writes, and bumps the per-status
   /// counter. A failed write (client gone) is not an error.
   void writeResponse(Connection* connection, const Response& response);
+  /// writeResponse for every line of a batch, one send() so a batch
+  /// answer is never interleaved with another write.
+  void writeResponses(Connection* connection,
+                      std::span<const Response> responses);
   void reapFinishedConnections();
   static double msSince(Clock::time_point start);
 

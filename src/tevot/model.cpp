@@ -3,11 +3,13 @@
 #include <array>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
 #include "ml/serialize.hpp"
+#include "tevot/operating_grid.hpp"
 
 namespace tevot::core {
 
@@ -46,6 +48,7 @@ void TevotModel::train(std::span<const dta::DtaTrace> traces,
     throw std::invalid_argument("TevotModel::train: no training samples");
   }
   forest_.fit(data, config_.forest, rng, pool);
+  compileFlat();
 }
 
 double TevotModel::predictDelay(std::uint32_t a, std::uint32_t b,
@@ -60,6 +63,24 @@ double TevotModel::predictDelay(std::uint32_t a, std::uint32_t b,
   return forest_.predict(row);
 }
 
+void TevotModel::predictDelayBatch(std::span<const DelayQuery> queries,
+                                   std::span<double> out) const {
+  if (!trained()) throw std::logic_error("TevotModel: not trained");
+  if (queries.size() != out.size()) {
+    throw std::invalid_argument(
+        "TevotModel::predictDelayBatch: queries/out size mismatch");
+  }
+  if (queries.empty()) return;
+  const std::size_t cols = encoder_.featureCount();
+  std::vector<float> rows(queries.size() * cols);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const DelayQuery& q = queries[i];
+    encoder_.encode(q.a, q.b, q.prev_a, q.prev_b, q.corner,
+                    std::span<float>(rows.data() + i * cols, cols));
+  }
+  flat_.predictBatch(rows.data(), queries.size(), cols, out.data());
+}
+
 util::Status TevotModel::validateForServing() const {
   if (!trained()) {
     return util::Status::invalidArgument("model is not trained");
@@ -67,15 +88,44 @@ util::Status TevotModel::validateForServing() const {
   const util::Status forest_status =
       ml::validateForestStructure(forest_.trees(), encoder_.featureCount());
   if (!forest_status.ok()) return forest_status;
-  // Canary predictions at the nominal corner: the whole predict path
-  // must produce finite, physically plausible (non-negative) delays.
-  const liberty::Corner nominal{1.00, 25.0};
-  for (const std::uint32_t word : {0u, 0xffffffffu, 0xa5a5a5a5u}) {
-    const double delay = predictDelay(word, ~word, 0, 0, nominal);
-    if (!std::isfinite(delay) || delay < 0.0) {
-      return util::Status::invalidArgument(
-          "canary prediction not a finite non-negative delay: " +
-          std::to_string(delay));
+  if (!flat_.compiled() || flat_.treeCount() != forest_.trees().size()) {
+    return util::Status::invalidArgument(
+        "flat engine not compiled from the served forest");
+  }
+  // Canary predictions at the nominal corner plus the Liberty grid
+  // extremes: the whole predict path must produce finite, physically
+  // plausible (non-negative) delays across the full operating
+  // envelope, and the flat engine must agree with the scalar walk bit
+  // for bit. A model that only misbehaves at low voltage is caught
+  // here, at reload, instead of mid-serve.
+  const OperatingGrid grid = OperatingGrid::paper();
+  const liberty::Corner canary_corners[] = {
+      {1.00, 25.0},  // nominal
+      {grid.v_start, grid.t_start},
+      {grid.v_start, grid.t_end},
+      {grid.v_end, grid.t_start},
+      {grid.v_end, grid.t_end},
+  };
+  std::array<float, FeatureEncoder::kMaxFeatures> features;
+  const std::span<float> row(features.data(), encoder_.featureCount());
+  for (const liberty::Corner& corner : canary_corners) {
+    for (const std::uint32_t word : {0u, 0xffffffffu, 0xa5a5a5a5u}) {
+      const double delay = predictDelay(word, ~word, 0, 0, corner);
+      if (!std::isfinite(delay) || delay < 0.0) {
+        char where[64];
+        std::snprintf(where, sizeof(where), " at (%.2f V, %.0f C)",
+                      corner.voltage, corner.temperature);
+        return util::Status::invalidArgument(
+            "canary prediction not a finite non-negative delay: " +
+            std::to_string(delay) + where);
+      }
+      encoder_.encode(word, ~word, 0, 0, corner, row);
+      const double flat = static_cast<double>(flat_.predict(row));
+      if (std::memcmp(&flat, &delay, sizeof(double)) != 0) {
+        return util::Status::invalidArgument(
+            "flat engine diverges from scalar walk on canary: " +
+            std::to_string(flat) + " vs " + std::to_string(delay));
+      }
     }
   }
   return util::Status::okStatus();
@@ -87,30 +137,94 @@ std::vector<double> TevotModel::featureImportance() const {
                                      encoder_.featureCount());
 }
 
-void TevotModel::save(const std::string& path) const {
+void TevotModel::save(const std::string& path,
+                      util::FaultInjector* faults) const {
   if (!trained()) throw std::logic_error("TevotModel::save: not trained");
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("TevotModel::save: cannot open " + path + ": " +
-                             std::strerror(errno));
-  os << "tevot-model v1 history " << (config_.include_history ? 1 : 0)
-     << "\n";
-  ml::saveForest(os, forest_);
+  // Write-to-temp + flush-check + atomic rename (the checkpoint
+  // writer's pattern): a full disk or dead fd surfaces as a typed
+  // error and the destination keeps its previous contents — readers
+  // never observe a truncated model.
+  const std::string tmp_path = path + ".tmp";
+  if (faults != nullptr && faults->shouldFail("io.open", path)) {
+    throw util::StatusError(util::Status::ioError(
+        "TevotModel::save " + tmp_path + ": injected io.open fault"));
+  }
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw util::StatusError(
+          util::ioErrorFor("TevotModel::save: cannot open", tmp_path,
+                           errno));
+    }
+    os << "tevot-model v1 history " << (config_.include_history ? 1 : 0)
+       << "\n";
+    ml::saveForest(os, forest_);
+    os.flush();
+    const bool write_fault =
+        faults != nullptr && faults->shouldFail("io.write", path);
+    if (!os || write_fault) {
+      const int saved_errno = errno;
+      os.close();
+      std::remove(tmp_path.c_str());
+      if (write_fault) {
+        throw util::StatusError(util::Status::ioError(
+            "TevotModel::save " + tmp_path + ": injected io.write fault"));
+      }
+      throw util::StatusError(util::ioErrorFor(
+          "TevotModel::save: write failed for", tmp_path, saved_errno));
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const util::Status status =
+        util::ioErrorFor("TevotModel::save: cannot rename", path, errno);
+    std::remove(tmp_path.c_str());
+    throw util::StatusError(status);
+  }
 }
 
 TevotModel TevotModel::load(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("TevotModel::load: cannot open " + path + ": " +
-                             std::strerror(errno));
+  if (!is) {
+    throw util::StatusError(
+        util::ioErrorFor("TevotModel::load: cannot open", path, errno));
+  }
   std::string magic, version, key;
   int history = 0;
   if (!(is >> magic >> version >> key >> history) ||
       magic != "tevot-model" || version != "v1" || key != "history") {
-    throw std::runtime_error("TevotModel::load: bad header");
+    throw util::StatusError(
+        util::Status::parseError("TevotModel::load " + path +
+                                 ": bad header"));
   }
   TevotConfig config;
   config.include_history = history != 0;
   TevotModel model(config);
-  model.forest_ = ml::loadForestRegressor(is);
+  try {
+    model.forest_ = ml::loadForestRegressor(is);
+  } catch (const std::runtime_error& error) {
+    throw util::StatusError(util::Status::parseError(
+        "TevotModel::load " + path + ": " + error.what()));
+  }
+  // The payload must end exactly where the forest does: trailing
+  // bytes mean a corrupt or concatenated file, not a longer model.
+  std::string trailing;
+  if (is >> trailing) {
+    throw util::StatusError(util::Status::parseError(
+        "TevotModel::load " + path + ": trailing bytes after forest ('" +
+        trailing + "')"));
+  }
+  // Cross-check the deserialized forest against the header's encoder
+  // width: a forest splitting on feature 129 under a history=0 header
+  // (66 features) would read out of bounds on every predict.
+  const util::Status structure = ml::validateForestStructure(
+      model.forest_.trees(), model.encoder_.featureCount());
+  if (!structure.ok()) {
+    throw util::StatusError(util::Status::invalidArgument(
+        "TevotModel::load " + path +
+        ": forest inconsistent with header (history=" +
+        std::to_string(history) + "): " + structure.message));
+  }
+  model.compileFlat();
   return model;
 }
 

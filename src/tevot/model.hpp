@@ -7,6 +7,12 @@
 // trained model classifies outputs as {timing correct, timing
 // erroneous} across all clock speeds. The paper's Eq. 3 delay matrix
 // corresponds to buildDelayDataset().
+//
+// Two inference paths, one answer: predictDelay walks the CART trees
+// (the reference), predictDelayBatch runs the compiled ml::FlatForest
+// over N queries at once. The flat path is bit-identical to the
+// scalar walk — check::checkFlatForestBitIdentity enforces it, and
+// validateForServing cross-checks the two engines on its canaries.
 #pragma once
 
 #include <functional>
@@ -14,8 +20,10 @@
 #include <string>
 
 #include "dta/dta.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/random_forest.hpp"
 #include "tevot/features.hpp"
+#include "util/fault_injection.hpp"
 #include "util/status.hpp"
 
 namespace tevot::core {
@@ -38,6 +46,16 @@ ml::Dataset buildErrorDataset(
     std::span<const dta::DtaTrace> traces, const FeatureEncoder& encoder,
     const std::function<double(const dta::DtaTrace&)>& clock_of_trace);
 
+/// One batched-prediction request: the operand transition plus the
+/// operating corner it happens at.
+struct DelayQuery {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t prev_a = 0;
+  std::uint32_t prev_b = 0;
+  liberty::Corner corner;
+};
+
 class TevotModel {
  public:
   explicit TevotModel(TevotConfig config = {})
@@ -57,6 +75,13 @@ class TevotModel {
                       std::uint32_t prev_a, std::uint32_t prev_b,
                       const liberty::Corner& corner) const;
 
+  /// Batched prediction through the flat engine: out[i] receives the
+  /// delay for queries[i], bit-identical to predictDelay on the same
+  /// operands. Thread-safe like predictDelay. Throws
+  /// std::invalid_argument when the spans disagree in length.
+  void predictDelayBatch(std::span<const DelayQuery> queries,
+                         std::span<double> out) const;
+
   /// Timing-error classification: erroneous iff predicted delay
   /// exceeds the clock period.
   bool predictError(std::uint32_t a, std::uint32_t b, std::uint32_t prev_a,
@@ -69,6 +94,8 @@ class TevotModel {
   const TevotConfig& config() const { return config_; }
   bool trained() const { return forest_.fitted(); }
   const ml::RandomForestRegressor& forest() const { return forest_; }
+  /// The compiled flat engine (valid whenever trained()).
+  const ml::FlatForest& flatForest() const { return flat_; }
 
   /// Normalized impurity-decrease importance per feature (encoder
   /// layout; see FeatureEncoder::featureName). Empty-importance
@@ -78,18 +105,39 @@ class TevotModel {
   /// Serving-readiness validation, the gate a model hot-reload must
   /// pass before the swap: trained, structurally sound forest (node
   /// indices in range for this encoder's feature count, finite
-  /// values), and a finite, non-negative canary prediction at the
-  /// nominal corner. ok() when the model is safe to serve.
+  /// values), and finite, non-negative canary predictions at the
+  /// nominal corner AND the Liberty grid extremes (0.81/1.00 V x
+  /// 0/100 C) — a model that goes non-finite at low voltage must be
+  /// rejected at reload, not discovered mid-serve. Each canary also
+  /// cross-checks the flat engine against the scalar walk bit for
+  /// bit. ok() when the model is safe to serve.
   util::Status validateForServing() const;
 
-  /// Pre-trained model persistence (forest + history flag).
-  void save(const std::string& path) const;
+  /// Pre-trained model persistence (forest + history flag). save()
+  /// writes a temp file, verifies the stream after flushing, and
+  /// atomically renames into place — a full disk or closed fd yields
+  /// a typed util::StatusError (errno + path), never a silently
+  /// truncated model. `faults` (nullable) is consulted at the io.open
+  /// / io.write points, keyed by the destination path.
+  void save(const std::string& path,
+            util::FaultInjector* faults = nullptr) const;
+
+  /// Loads a saved model. Rejects, with typed util::StatusError:
+  /// malformed or truncated payloads (kParseError), trailing bytes
+  /// after the forest (kParseError), and forests whose feature
+  /// indices exceed the header's encoder width — e.g. a model trained
+  /// with history under a header claiming none (kInvalidArgument),
+  /// which would otherwise read out of bounds at predict time.
   static TevotModel load(const std::string& path);
 
  private:
+  /// (Re)compiles flat_ from forest_; called after train/load.
+  void compileFlat() { flat_ = ml::FlatForest::fromRegressor(forest_); }
+
   TevotConfig config_;
   FeatureEncoder encoder_;
   ml::RandomForestRegressor forest_;
+  ml::FlatForest flat_;
 };
 
 }  // namespace tevot::core

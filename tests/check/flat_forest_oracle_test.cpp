@@ -1,0 +1,23 @@
+// Flat-forest bit-identity oracle as a ctest suite. The 125-seed run
+// exercises 125 * kBatchesPerSeed = 1000 independent random batches
+// (forest-level and model-level), the acceptance floor for the flat
+// batched engine: every one must memcmp-match the scalar tree walk.
+#include "check/flat_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/property.hpp"
+
+namespace tevot::check {
+namespace {
+
+TEST(FlatForestOracleTest, BitIdentityHoldsOverAThousandBatches) {
+  static_assert(125 * kBatchesPerSeed >= 1000,
+                "seed count must cover >= 1000 batches");
+  const PropertyResult result =
+      forAllSeeds(125, checkFlatForestBitIdentity);
+  EXPECT_TRUE(result.ok) << result.report("flat-forest/bit-identity");
+}
+
+}  // namespace
+}  // namespace tevot::check

@@ -1,0 +1,235 @@
+// FlatForest tests: bit-identity with the scalar tree-walk over a zoo
+// of fitted forests, batch/stride/Matrix plumbing, compile-time
+// structure validation, and concurrent readers (the serve workers'
+// usage; also exercised under TSan in CI).
+#include "ml/flat_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tevot::ml {
+namespace {
+
+Dataset regressionTask(util::Rng& rng, int rows, int cols,
+                       bool binary_features) {
+  Dataset data;
+  std::vector<float> row(static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    float sum = 0.0f;
+    for (float& value : row) {
+      value = binary_features
+                  ? static_cast<float>(rng.nextBool())
+                  : static_cast<float>(rng.nextDouble(-1.0, 3.0));
+      sum += value;
+    }
+    data.append(row, sum + static_cast<float>(rng.nextGaussian()) * 0.1f);
+  }
+  return data;
+}
+
+/// Every member of the zoo must agree with the walk bit for bit.
+struct ZooEntry {
+  const char* name;
+  int rows, cols, n_trees, max_depth;
+  bool binary;
+};
+
+TEST(FlatForestTest, BitIdenticalToTreeWalkAcrossZoo) {
+  const ZooEntry zoo[] = {
+      {"tiny", 20, 2, 1, 2, false},
+      {"stumps", 60, 3, 7, 1, false},
+      {"binary-features", 80, 8, 5, -1, true},
+      {"deep-unlimited", 120, 4, 10, -1, false},
+      {"wide", 50, 16, 4, 6, false},
+  };
+  util::Rng rng(17);
+  for (const ZooEntry& entry : zoo) {
+    const Dataset data =
+        regressionTask(rng, entry.rows, entry.cols, entry.binary);
+    ForestParams params;
+    params.n_trees = entry.n_trees;
+    params.tree.max_depth = entry.max_depth;
+    RandomForestRegressor forest;
+    util::Rng fit_rng = rng.fork();
+    forest.fit(data, params, fit_rng);
+    const FlatForest flat = FlatForest::fromRegressor(forest);
+    EXPECT_TRUE(flat.compiled());
+    EXPECT_EQ(flat.treeCount(), forest.trees().size());
+
+    // Scalar flat predict: float-exact on train rows and fresh rows.
+    std::vector<float> row(static_cast<std::size_t>(entry.cols));
+    for (int i = 0; i < 200; ++i) {
+      for (float& v : row) {
+        v = static_cast<float>(rng.nextDouble(-2.0, 4.0));
+      }
+      const float walk = forest.predict(row);
+      const float flat_pred = flat.predict(row);
+      ASSERT_EQ(std::memcmp(&flat_pred, &walk, sizeof(float)), 0)
+          << entry.name << " row " << i;
+    }
+    for (std::size_t r = 0; r < data.size(); ++r) {
+      const float walk = forest.predict(data.x.row(r));
+      const float flat_pred = flat.predict(data.x.row(r));
+      ASSERT_EQ(std::memcmp(&flat_pred, &walk, sizeof(float)), 0)
+          << entry.name << " train row " << r;
+    }
+
+    // Batch kernel: double-exact against the widened scalar walk,
+    // including the partial final block (193 % 16 != 0).
+    const std::size_t n = 193;
+    std::vector<float> block(n * static_cast<std::size_t>(entry.cols));
+    for (float& v : block) {
+      v = static_cast<float>(rng.nextDouble(-2.0, 4.0));
+    }
+    std::vector<double> out(n);
+    flat.predictBatch(block.data(), n,
+                      static_cast<std::size_t>(entry.cols), out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const float> row_i(
+          block.data() + i * static_cast<std::size_t>(entry.cols),
+          static_cast<std::size_t>(entry.cols));
+      const double want = static_cast<double>(forest.predict(row_i));
+      ASSERT_EQ(std::memcmp(&out[i], &want, sizeof(double)), 0)
+          << entry.name << " batch row " << i;
+    }
+  }
+}
+
+TEST(FlatForestTest, BatchHonorsRowStride) {
+  util::Rng rng(23);
+  const Dataset data = regressionTask(rng, 60, 3, false);
+  ForestParams params;
+  params.n_trees = 4;
+  RandomForestRegressor forest;
+  forest.fit(data, params, rng);
+  const FlatForest flat = FlatForest::fromRegressor(forest);
+
+  // Rows embedded in a wider stride: the tail floats are poison that
+  // a correct kernel never reads as features (cols = 3, stride = 7).
+  constexpr std::size_t kRows = 21, kCols = 3, kStride = 7;
+  std::vector<float> padded(kRows * kStride,
+                            std::numeric_limits<float>::quiet_NaN());
+  for (std::size_t i = 0; i < kRows; ++i) {
+    for (std::size_t c = 0; c < kCols; ++c) {
+      padded[i * kStride + c] = static_cast<float>(rng.nextDouble(0, 3));
+    }
+  }
+  std::vector<double> out(kRows);
+  flat.predictBatch(padded.data(), kRows, kStride, out.data());
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const std::span<const float> row_i(padded.data() + i * kStride, kCols);
+    const double want = static_cast<double>(forest.predict(row_i));
+    EXPECT_EQ(std::memcmp(&out[i], &want, sizeof(double)), 0) << i;
+  }
+}
+
+TEST(FlatForestTest, MatrixOverloadMatchesForestBatch) {
+  util::Rng rng(29);
+  const Dataset data = regressionTask(rng, 70, 4, false);
+  ForestParams params;
+  params.n_trees = 6;
+  RandomForestRegressor forest;
+  forest.fit(data, params, rng);
+  const FlatForest flat = FlatForest::fromRegressor(forest);
+  const std::vector<float> flat_out = flat.predictBatch(data.x);
+  ASSERT_EQ(flat_out.size(), data.size());
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const float walk = forest.predict(data.x.row(r));
+    EXPECT_EQ(std::memcmp(&flat_out[r], &walk, sizeof(float)), 0) << r;
+  }
+}
+
+TEST(FlatForestTest, EmptyBatchIsANoOp) {
+  util::Rng rng(31);
+  const Dataset data = regressionTask(rng, 30, 2, false);
+  ForestParams params;
+  params.n_trees = 2;
+  RandomForestRegressor forest;
+  forest.fit(data, params, rng);
+  const FlatForest flat = FlatForest::fromRegressor(forest);
+  flat.predictBatch(nullptr, 0, 2, nullptr);  // must not dereference
+  EXPECT_TRUE(flat.predictBatch(Matrix()).empty());
+}
+
+TEST(FlatForestTest, UncompiledAndInvalidInputsThrow) {
+  const FlatForest empty;
+  EXPECT_FALSE(empty.compiled());
+  std::vector<float> row{0.0f};
+  EXPECT_THROW(empty.predict(row), std::logic_error);
+  double out = 0.0;
+  EXPECT_THROW(empty.predictBatch(row.data(), 1, 1, &out),
+               std::logic_error);
+  EXPECT_THROW(FlatForest::compile({}), std::invalid_argument);
+}
+
+TEST(FlatForestTest, CompileRejectsBrokenTrees) {
+  // Child index out of range.
+  DecisionTree bad_child;
+  bad_child.setNodes({{0, 0.5f, 1, 7, 0.0f},
+                      {-1, 0.0f, -1, -1, 1.0f}});
+  EXPECT_THROW(FlatForest::compile({&bad_child, 1}),
+               std::invalid_argument);
+
+  // Shared child (two parents).
+  DecisionTree dag;
+  dag.setNodes({{0, 0.5f, 1, 1, 0.0f},
+                {-1, 0.0f, -1, -1, 2.0f}});
+  EXPECT_THROW(FlatForest::compile({&dag, 1}), std::invalid_argument);
+
+  // Unreachable node.
+  DecisionTree orphan;
+  orphan.setNodes({{-1, 0.0f, -1, -1, 1.0f},
+                   {-1, 0.0f, -1, -1, 2.0f}});
+  EXPECT_THROW(FlatForest::compile({&orphan, 1}), std::invalid_argument);
+
+  // Unfitted (empty) tree.
+  DecisionTree unfitted;
+  EXPECT_THROW(FlatForest::compile({&unfitted, 1}),
+               std::invalid_argument);
+}
+
+TEST(FlatForestTest, ConcurrentBatchesAreRaceFreeAndIdentical) {
+  util::Rng rng(37);
+  const Dataset data = regressionTask(rng, 100, 5, false);
+  ForestParams params;
+  params.n_trees = 6;
+  RandomForestRegressor forest;
+  forest.fit(data, params, rng);
+  const FlatForest flat = FlatForest::fromRegressor(forest);
+
+  constexpr std::size_t kRows = 64;
+  std::vector<float> block(kRows * 5);
+  for (float& v : block) v = static_cast<float>(rng.nextDouble(0, 3));
+  std::vector<double> reference(kRows);
+  flat.predictBatch(block.data(), kRows, 5, reference.data());
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> results(
+      kThreads, std::vector<double>(kRows, 0.0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int pass = 0; pass < 20; ++pass) {
+        flat.predictBatch(block.data(), kRows, 5, results[t].data());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(std::memcmp(results[t].data(), reference.data(),
+                          kRows * sizeof(double)),
+              0)
+        << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace tevot::ml

@@ -1,0 +1,239 @@
+// TevotModel persistence robustness: the save path must never leave a
+// truncated model behind (write-temp + flush-check + atomic rename,
+// with io.open/io.write fault injection), and the load path must
+// reject every corrupt-file shape with a typed error — truncation,
+// garbage, trailing bytes, and forests inconsistent with the header's
+// encoder width.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tevot/model.hpp"
+#include "tevot/pipeline.hpp"
+#include "util/fault_injection.hpp"
+#include "util/status.hpp"
+
+namespace tevot::core {
+namespace {
+
+TevotModel trainedModel(bool include_history = true) {
+  FuContext context(circuits::FuKind::kIntAdd);
+  util::Rng rng(71);
+  std::vector<dta::DtaTrace> traces;
+  for (const liberty::Corner corner :
+       {liberty::Corner{0.81, 0.0}, liberty::Corner{1.00, 100.0}}) {
+    traces.push_back(context.characterize(
+        corner, dta::randomWorkloadFor(context.kind(), 150, rng)));
+  }
+  TevotConfig config;
+  config.include_history = include_history;
+  config.forest.n_trees = 3;
+  config.forest.tree.max_depth = 6;
+  TevotModel model(config);
+  model.train(traces, rng);
+  return model;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream text;
+  text << is.rdbuf();
+  return text.str();
+}
+
+void writeFile(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << content;
+}
+
+util::Status loadStatus(const std::string& path) {
+  try {
+    TevotModel::load(path);
+  } catch (const util::StatusError& error) {
+    return error.status();
+  }
+  return util::Status::okStatus();
+}
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new TevotModel(trainedModel());
+    path_ = ::testing::TempDir() + "/model_io_test.model";
+    model_->save(path_);
+    bytes_ = readFile(path_);
+    ASSERT_FALSE(bytes_.empty());
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_.c_str());
+    delete model_;
+    model_ = nullptr;
+  }
+
+  static TevotModel* model_;
+  static std::string path_;
+  static std::string bytes_;  ///< a known-good saved model
+};
+
+TevotModel* ModelIoTest::model_ = nullptr;
+std::string ModelIoTest::path_;
+std::string ModelIoTest::bytes_;
+
+TEST_F(ModelIoTest, RoundTripPredictsBitIdentically) {
+  const TevotModel loaded = TevotModel::load(path_);
+  EXPECT_TRUE(loaded.validateForServing().ok());
+  const liberty::Corner corner{0.9, 40.0};
+  std::vector<DelayQuery> queries;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    queries.push_back({i * 2654435761u, ~i, i, i + 1, corner});
+  }
+  std::vector<double> from_loaded(queries.size());
+  loaded.predictDelayBatch(queries, from_loaded);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const DelayQuery& q = queries[i];
+    EXPECT_EQ(from_loaded[i], model_->predictDelay(q.a, q.b, q.prev_a,
+                                                   q.prev_b, q.corner));
+  }
+}
+
+TEST_F(ModelIoTest, MissingFileIsTypedIoError) {
+  const util::Status status =
+      loadStatus(::testing::TempDir() + "/does_not_exist.model");
+  EXPECT_EQ(status.code, util::StatusCode::kIoError);
+  EXPECT_NE(status.message.find("does_not_exist.model"),
+            std::string::npos);
+}
+
+TEST_F(ModelIoTest, TruncationMatrixAllRejected) {
+  // Cutting the file anywhere — mid-header, mid-forest, mid-node —
+  // must yield a parse error, never a silently smaller model.
+  const std::string path = ::testing::TempDir() + "/truncated.model";
+  for (const double fraction : {0.02, 0.1, 0.5, 0.9, 0.99}) {
+    const auto cut =
+        static_cast<std::size_t>(bytes_.size() * fraction);
+    writeFile(path, bytes_.substr(0, cut));
+    const util::Status status = loadStatus(path);
+    EXPECT_EQ(status.code, util::StatusCode::kParseError)
+        << "cut at " << cut << " of " << bytes_.size();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, GarbageAndWrongMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/garbage.model";
+  const char* cases[] = {
+      "",                                  // empty file
+      "not a model at all",                // no header
+      "tevot-model v2 history 1\n",        // wrong version
+      "tevot-model v1 hist 1\n",           // wrong key
+      "tevot-model v1 history X\n",        // non-numeric flag
+  };
+  for (const char* content : cases) {
+    writeFile(path, content);
+    const util::Status status = loadStatus(path);
+    EXPECT_EQ(status.code, util::StatusCode::kParseError)
+        << "'" << content << "'";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, TrailingBytesRejected) {
+  const std::string path = ::testing::TempDir() + "/trailing.model";
+  for (const char* junk :
+       {"x", "\nextra", "\ntevot-model v1 history 1\n", " 42"}) {
+    writeFile(path, bytes_ + junk);
+    const util::Status status = loadStatus(path);
+    EXPECT_EQ(status.code, util::StatusCode::kParseError) << junk;
+    EXPECT_NE(status.message.find("trailing"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, ForestInconsistentWithHeaderRejected) {
+  // The model was trained WITH history (130 features). Flipping the
+  // header flag to 0 claims a 66-feature encoder; the forest's split
+  // indices now exceed the encoder width and must be rejected at
+  // load, not discovered as an out-of-bounds read at predict time.
+  const std::string flipped = "tevot-model v1 history 0" +
+                              bytes_.substr(bytes_.find('\n'));
+  ASSERT_NE(flipped, bytes_);
+  const std::string path = ::testing::TempDir() + "/flipped.model";
+  writeFile(path, flipped);
+  const util::Status status = loadStatus(path);
+  EXPECT_EQ(status.code, util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message.find("history"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, SaveWriteFaultKeepsPreviousContents) {
+  const std::string path = ::testing::TempDir() + "/atomic.model";
+  writeFile(path, "previous contents");
+  util::FaultInjector faults;
+  util::FaultPlan plan;
+  plan.points = {"io.write"};
+  plan.rate = 1.0;
+  plan.fail_attempts = 1000;
+  faults.arm(plan);
+  EXPECT_THROW(model_->save(path, &faults), util::StatusError);
+  // The destination is untouched and no temp file leaks.
+  EXPECT_EQ(readFile(path), "previous contents");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, SaveOpenFaultIsTypedIoError) {
+  const std::string path = ::testing::TempDir() + "/openfault.model";
+  util::FaultInjector faults;
+  util::FaultPlan plan;
+  plan.points = {"io.open"};
+  plan.rate = 1.0;
+  plan.fail_attempts = 1000;
+  faults.arm(plan);
+  try {
+    model_->save(path, &faults);
+    FAIL() << "save must throw under an io.open fault";
+  } catch (const util::StatusError& error) {
+    EXPECT_EQ(error.status().code, util::StatusCode::kIoError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(ModelIoTest, SaveToUnwritableDirectoryIsTypedIoError) {
+  const util::Status status = [&] {
+    try {
+      model_->save("/nonexistent-dir/sub/model.bin");
+    } catch (const util::StatusError& error) {
+      return error.status();
+    }
+    return util::Status::okStatus();
+  }();
+  EXPECT_EQ(status.code, util::StatusCode::kIoError);
+  EXPECT_NE(status.message.find("/nonexistent-dir/sub/model.bin"),
+            std::string::npos);
+}
+
+TEST_F(ModelIoTest, SaveOverwritesAtomicallyOnSuccess) {
+  const std::string path = ::testing::TempDir() + "/overwrite.model";
+  writeFile(path, "stale");
+  model_->save(path);
+  EXPECT_EQ(readFile(path), bytes_);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, ValidateForServingProbesGridExtremes) {
+  // A freshly trained model must clear the corner-extreme canaries
+  // (and the flat-vs-scalar cross-check) for both encoder layouts.
+  EXPECT_TRUE(model_->validateForServing().ok());
+  const TevotModel no_history = trainedModel(false);
+  EXPECT_TRUE(no_history.validateForServing().ok());
+  EXPECT_FALSE(TevotModel().validateForServing().ok());
+}
+
+}  // namespace
+}  // namespace tevot::core

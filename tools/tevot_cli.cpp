@@ -77,6 +77,7 @@
 #include "util/signal.hpp"
 #include "util/thread_pool.hpp"
 
+#include "check/flat_oracle.hpp"
 #include "check/oracles.hpp"
 #include "check/property.hpp"
 #include "check/serve_oracle.hpp"
@@ -312,6 +313,8 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
         });
   }
   properties.emplace_back("model-round-trip", check::checkModelRoundTrip);
+  properties.emplace_back("flat-forest/bit-identity",
+                          check::checkFlatForestBitIdentity);
   properties.emplace_back("sweep/fault-tolerance",
                           check::checkSweepFaultTolerance);
   properties.emplace_back("serve/resilience", check::checkServeResilience);
