@@ -1,0 +1,34 @@
+// Fleet resilience oracle.
+//
+// The single-server contract (check/serve_oracle.hpp) lifted through
+// the router: while a storm of concurrent clients drives a 3-shard
+// replicated fleet through its front port, one shard is killed and
+// restarted mid-storm. The oracle requires that
+//
+//   1. every request line still gets exactly one well-formed typed
+//      response — the shard death degrades into reroutes or typed
+//      SHED lines, never silence;
+//   2. every OK delay stays bit-identical to the offline reference
+//      model (the router relays worker lines byte-for-byte);
+//   3. the restarted shard re-enters rotation (health probe
+//      re-admission), and a rolling reload across the recovered
+//      fleet succeeds;
+//   4. the router's accounting invariant requests ==
+//      ok + shed + deadline + errors holds after the drain.
+//
+// The shards here are in-process serve::Servers (same code path the
+// worker binary runs); true SIGKILL process death is covered by the
+// multi-process suites in tests/fleet/ and the CI fleet-smoke job.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tevot::check {
+
+/// Property for check::forAllSeeds; throws PropertyViolation on any
+/// breach of the fleet contract above.
+void checkFleetResilience(std::uint64_t seed, util::Rng& rng);
+
+}  // namespace tevot::check

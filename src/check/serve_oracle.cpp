@@ -243,6 +243,11 @@ const OracleFixture& oracleFixture() {
 
 }  // namespace
 
+OracleModel oracleModel() {
+  const OracleFixture& fixture = oracleFixture();
+  return {fixture.model, fixture.model_dir};
+}
+
 void checkServeResilience(std::uint64_t seed, util::Rng& rng) {
   (void)rng;  // all randomness is derived from `seed` by the driver
   const OracleFixture& fixture = oracleFixture();

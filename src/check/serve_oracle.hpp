@@ -54,4 +54,16 @@ void driveAndVerifyServer(const core::TevotModel& reference,
 /// errors.
 void checkServeResilience(std::uint64_t seed, util::Rng& rng);
 
+/// The shared per-process oracle fixture: a tiny trained int_add model
+/// (the offline bit-identity reference) plus the temp model directory
+/// it was saved to, which in-process servers and fleet shards load
+/// from. Trained lazily on first use; the references stay valid for
+/// the process lifetime. Reused by the fleet oracle so the single-
+/// server and fleet properties pin against the same weights.
+struct OracleModel {
+  const core::TevotModel& model;
+  const std::string& model_dir;
+};
+OracleModel oracleModel();
+
 }  // namespace tevot::check

@@ -1,0 +1,655 @@
+#include "fleet/router.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace tevot::fleet {
+
+namespace {
+
+constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+bool sendAll(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* shardPolicyName(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kReplicated: return "replicated";
+    case ShardPolicy::kPerFu: return "per-fu";
+  }
+  return "?";
+}
+
+bool parseShardPolicy(std::string_view text, ShardPolicy* out) {
+  if (text == "replicated") {
+    *out = ShardPolicy::kReplicated;
+    return true;
+  }
+  if (text == "per-fu") {
+    *out = ShardPolicy::kPerFu;
+    return true;
+  }
+  return false;
+}
+
+Router::Router(RouterOptions options, std::vector<ShardEndpoint> shards)
+    : options_(std::move(options)) {
+  if (options_.forward_attempts < 1) options_.forward_attempts = 1;
+  if (options_.max_connections == 0) options_.max_connections = 1;
+  shards_.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.breaker));
+    shards_.back()->port.store(shards[i].port);
+    shards_.back()->fus = std::move(shards[i].fus);
+    for (const std::string& fu : shards_.back()->fus) {
+      fu_owner_.emplace(fu, i);
+    }
+  }
+}
+
+Router::~Router() {
+  if (running_.load()) drainAndStop();
+}
+
+double Router::msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+util::Status Router::start() {
+  if (running_.load()) {
+    return util::Status::invalidArgument("router already running");
+  }
+  if (shards_.empty()) {
+    return util::Status::invalidArgument("router needs at least one shard");
+  }
+  if (options_.policy == ShardPolicy::kPerFu && fu_owner_.empty()) {
+    return util::Status::invalidArgument(
+        "per-fu policy needs shard fu assignments");
+  }
+  util::UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return util::Status::ioError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return util::Status::ioError("bind 127.0.0.1:" +
+                                 std::to_string(options_.port) + ": " +
+                                 std::strerror(errno));
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return util::Status::ioError(std::string("listen: ") +
+                                 std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return util::Status::ioError(std::string("getsockname: ") +
+                                 std::strerror(errno));
+  }
+  bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_ = std::move(fd);
+
+  draining_.store(false);
+  running_.store(true);
+  // One synchronous probe round so freshly started fleets route
+  // immediately instead of shedding until the first health tick.
+  {
+    std::vector<BackendConn> conns(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i]->breaker.allow()) probeShard(i, &conns[i]);
+    }
+  }
+  health_ = std::thread([this] { healthLoop(); });
+  acceptor_ = std::thread([this] { acceptLoop(); });
+  util::logInfo() << "fleet: router listening on 127.0.0.1:" << bound_port_
+                  << " shards=" << shards_.size()
+                  << " policy=" << shardPolicyName(options_.policy);
+  return util::Status::okStatus();
+}
+
+bool Router::shardEligible(std::size_t shard) const {
+  if (shard >= shards_.size()) return false;
+  const Shard& s = *shards_[shard];
+  return s.port.load() > 0 && !s.admin_down.load() && s.probed_up.load() &&
+         s.breaker.state() == serve::CircuitBreaker::State::kClosed;
+}
+
+void Router::markShardDown(std::size_t shard) {
+  if (shard >= shards_.size()) return;
+  shards_[shard]->probed_up.store(false);
+  shards_[shard]->queue_permille.store(0);
+}
+
+void Router::setShardPort(std::size_t shard, int port) {
+  if (shard >= shards_.size()) return;
+  shards_[shard]->probed_up.store(false);
+  shards_[shard]->queue_permille.store(0);
+  shards_[shard]->port.store(port);
+}
+
+serve::MetricsSnapshot Router::stats() const {
+  serve::MetricsSnapshot snap = metrics_.snapshot();
+  std::uint64_t min_generation = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->breaker.state() != serve::CircuitBreaker::State::kClosed) {
+      ++snap.breakers_open;
+    }
+    snap.breaker_opens += shard->breaker.opens();
+    const std::lock_guard<std::mutex> lock(shard->stats_mutex);
+    snap.queue_depth += shard->last_stats.queue_depth;
+    snap.queue_capacity += shard->last_stats.queue_capacity;
+    const std::uint64_t generation = shard->last_stats.generation;
+    if (generation > 0 &&
+        (min_generation == 0 || generation < min_generation)) {
+      min_generation = generation;
+    }
+  }
+  snap.generation = min_generation;
+  return snap;
+}
+
+serve::MetricsSnapshot Router::workerStats() const {
+  serve::MetricsSnapshot merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->stats_mutex);
+    merged.mergeFrom(shard->last_stats);
+  }
+  return merged;
+}
+
+bool Router::probeShard(std::size_t index, BackendConn* conn) {
+  Shard& shard = *shards_[index];
+  const int port = shard.port.load();
+  if (port <= 0) return false;
+  const auto fail = [&] {
+    conn->client.close();
+    shard.breaker.recordFailure();
+    return false;
+  };
+  if (!conn->client.connected() || conn->port != port) {
+    conn->port = port;
+    if (!conn->client.connectTo(port, options_.backend_timeout_ms).ok()) {
+      return fail();
+    }
+  }
+  if (!conn->client.sendLine("stats")) return fail();
+  const std::optional<std::string> raw = conn->client.readLine();
+  if (!raw.has_value()) return fail();
+  serve::Response response;
+  if (!serve::parseResponse(*raw, &response) ||
+      response.status != serve::ResponseStatus::kOk) {
+    return fail();
+  }
+  // The stats payload is "stats <k=v line>"; parse it exactly.
+  std::string_view detail = response.detail;
+  serve::MetricsSnapshot worker;
+  if (!serve::parseMetricsLine(detail, &worker)) return fail();
+  {
+    const std::lock_guard<std::mutex> lock(shard.stats_mutex);
+    shard.last_stats = worker;
+  }
+  const std::uint32_t permille =
+      worker.queue_capacity == 0
+          ? 0
+          : static_cast<std::uint32_t>(
+                (worker.queue_depth * 1024) / worker.queue_capacity);
+  shard.queue_permille.store(permille);
+  shard.breaker.recordSuccess();
+  shard.probed_up.store(true);
+  return true;
+}
+
+void Router::healthLoop() {
+  std::vector<BackendConn> conns(shards_.size());
+  const auto interval =
+      std::chrono::duration<double, std::milli>(options_.health_interval_ms);
+  while (!draining_.load()) {
+    for (std::size_t i = 0; i < shards_.size() && !draining_.load(); ++i) {
+      // allow() drives OPEN -> HALF_OPEN once the cooldown elapses;
+      // while it refuses, the shard rests and routing skips it.
+      if (shards_[i]->breaker.allow()) probeShard(i, &conns[i]);
+    }
+    // Sleep in small ticks so drain isn't held up by a long interval.
+    auto remaining = interval;
+    while (remaining.count() > 0.0 && !draining_.load()) {
+      const auto tick = std::min(
+          remaining, std::chrono::duration<double, std::milli>(10.0));
+      std::this_thread::sleep_for(tick);
+      remaining -= tick;
+    }
+  }
+}
+
+void Router::acceptLoop() {
+  while (!draining_.load()) {
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      util::logWarn() << "fleet: poll: " << std::strerror(errno);
+      break;
+    }
+    reapFinishedConnections();
+    if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
+    util::UniqueFd conn(::accept4(listen_fd_.get(), nullptr, nullptr,
+                                  SOCK_CLOEXEC));
+    if (!conn.valid()) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener shut down under us (drain) or fatal
+    }
+    metrics_.connections.fetch_add(1, std::memory_order_relaxed);
+    std::size_t live = 0;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      live = connections_.size();
+    }
+    if (live >= options_.max_connections) {
+      const serve::Response shed =
+          serve::Response::shed("connection limit");
+      const std::string line = shed.serialize() + "\n";
+      sendAll(conn.get(), line.data(), line.size());
+      metrics_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.emplace_back();
+    Connection* entry = &connections_.back();
+    entry->fd = std::move(conn);
+    entry->thread = std::thread([this, entry] { connectionLoop(entry); });
+  }
+}
+
+void Router::reapFinishedConnections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Router::connectionLoop(Connection* connection) {
+  // Same line framing as serve::Server::connectionLoop, so a client
+  // cannot distinguish the router from a single server.
+  std::string buffer;
+  bool discarding = false;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(connection->fd.get(), chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    for (;;) {
+      const std::size_t nl = buffer.find('\n');
+      if (nl == std::string::npos) {
+        if (discarding) {
+          buffer.clear();
+        } else if (buffer.size() > serve::kMaxLineBytes) {
+          metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+          writeResponses(
+              connection,
+              {serve::Response::error(
+                   serve::ErrorCode::kOversized,
+                   "request line exceeds " +
+                       std::to_string(serve::kMaxLineBytes) + " bytes")
+                   .serialize()});
+          discarding = true;
+          buffer.clear();
+        }
+        break;
+      }
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (discarding) {
+        discarding = false;
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > serve::kMaxLineBytes) {
+        metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+        writeResponses(
+            connection,
+            {serve::Response::error(
+                 serve::ErrorCode::kOversized,
+                 "request line exceeds " +
+                     std::to_string(serve::kMaxLineBytes) + " bytes")
+                 .serialize()});
+        continue;
+      }
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      handleLine(connection, line);
+    }
+  }
+  connection->done.store(true);
+}
+
+void Router::handleLine(Connection* connection, std::string_view line) {
+  metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+  serve::Request request;
+  const util::Status parsed = serve::parseRequest(line, &request);
+  if (!parsed.ok()) {
+    // The router rejects malformed lines itself; garbage never
+    // reaches a worker.
+    writeResponses(connection,
+                   {serve::responseForParseFailure(parsed).serialize()});
+    return;
+  }
+  const std::size_t lines = request.responseCount();
+  if (lines > 1) {
+    metrics_.requests.fetch_add(lines - 1, std::memory_order_relaxed);
+  }
+  if (request.kind != serve::RequestKind::kPredict &&
+      request.kind != serve::RequestKind::kPredictBatch) {
+    writeResponses(connection, {handleControl(request).serialize()});
+    return;
+  }
+  if (draining_.load()) {
+    std::vector<std::string> shed(
+        lines, serve::Response::shed("draining").serialize());
+    writeResponses(connection, shed);
+    return;
+  }
+  routePredict(connection, request, std::string(line));
+}
+
+serve::Response Router::handleControl(const serve::Request& request) {
+  switch (request.kind) {
+    case serve::RequestKind::kHealth: {
+      std::size_t healthy = 0;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (shardEligible(i)) ++healthy;
+      }
+      char buf[192];
+      std::snprintf(
+          buf, sizeof(buf),
+          "health status=%s shards=%zu healthy=%zu policy=%s "
+          "generation=%llu",
+          draining_.load() ? "draining" : "serving", shards_.size(),
+          healthy, shardPolicyName(options_.policy),
+          static_cast<unsigned long long>(stats().generation));
+      return serve::Response::payload(buf);
+    }
+    case serve::RequestKind::kStats:
+      return serve::Response::payload("stats " + stats().toLine());
+    case serve::RequestKind::kReload: {
+      const util::Status status = rollingReload();
+      if (!status.ok()) {
+        return serve::Response::error(serve::ErrorCode::kReloadFailed,
+                                      status.message);
+      }
+      return serve::Response::payload(
+          "reload generation=" + std::to_string(stats().generation) +
+          " shards=" + std::to_string(shards_.size()));
+    }
+    case serve::RequestKind::kPredict:
+    case serve::RequestKind::kPredictBatch:
+      break;
+  }
+  return serve::Response::error(serve::ErrorCode::kInternal,
+                                "bad control dispatch");
+}
+
+std::size_t Router::pickShard(const serve::Request& request,
+                              const std::vector<bool>& exclude) const {
+  const auto admissible = [&](std::size_t i) {
+    return shardEligible(i) && !exclude[i] &&
+           shards_[i]->queue_permille.load() <
+               static_cast<std::uint32_t>(options_.shed_queue_fraction *
+                                          1024.0);
+  };
+  if (options_.policy == ShardPolicy::kPerFu) {
+    const auto owner = fu_owner_.find(request.fu);
+    if (owner == fu_owner_.end()) return kNoShard;
+    return admissible(owner->second) ? owner->second : kNoShard;
+  }
+  const std::size_t n = shards_.size();
+  const std::uint64_t start =
+      round_robin_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t index = (start + i) % n;
+    if (admissible(index)) return index;
+  }
+  return kNoShard;
+}
+
+void Router::routePredict(Connection* connection,
+                          const serve::Request& request,
+                          const std::string& line) {
+  const std::size_t lines = request.responseCount();
+  const Clock::time_point arrival = Clock::now();
+
+  // Per-FU requests for a FU no shard owns are refused up front with
+  // the same typed error a worker would produce.
+  if (options_.policy == ShardPolicy::kPerFu &&
+      fu_owner_.find(request.fu) == fu_owner_.end()) {
+    std::vector<std::string> responses(
+        lines, serve::Response::error(serve::ErrorCode::kUnknownFu,
+                                      "unknown fu '" + request.fu + "'")
+                   .serialize());
+    writeResponses(connection, responses);
+    return;
+  }
+
+  std::vector<bool> tried(shards_.size(), false);
+  for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
+    const std::size_t index = pickShard(request, tried);
+    if (index == kNoShard) break;
+    // Reroute (kReplicated) excludes shards already tried; the per-FU
+    // owner is retried over a fresh connection instead.
+    if (options_.policy == ShardPolicy::kReplicated) tried[index] = true;
+    Shard& shard = *shards_[index];
+    shard.in_flight.fetch_add(1, std::memory_order_acq_rel);
+    BackendConn& backend = connection->backends[index];
+    const int port = shard.port.load();
+    bool forwarded = false;
+    std::vector<std::string> responses;
+    responses.reserve(lines);
+    if (!backend.client.connected() || backend.port != port) {
+      backend.port = port;
+      if (!backend.client.connectTo(port, options_.backend_timeout_ms)
+               .ok()) {
+        backend.client.close();
+      }
+    }
+    if (backend.client.connected() && backend.client.sendLine(line)) {
+      while (responses.size() < lines) {
+        std::optional<std::string> response = backend.client.readLine();
+        if (!response.has_value()) break;
+        responses.push_back(std::move(*response));
+      }
+      if (responses.size() == lines) {
+        forwarded = true;
+      } else if (!responses.empty()) {
+        // The shard died mid-batch: the relayed prefix cannot be
+        // retried (duplicates), so the remainder degrades to typed
+        // errors and the batch still answers with exactly n lines.
+        backend.client.close();
+        shard.breaker.recordFailure();
+        while (responses.size() < lines) {
+          responses.push_back(
+              serve::Response::error(serve::ErrorCode::kInternal,
+                                     "shard connection lost mid-batch")
+                  .serialize());
+        }
+        forwarded = true;
+      }
+    }
+    shard.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    if (forwarded) {
+      metrics_.recordLatencyMs(msSince(arrival));
+      writeResponses(connection, responses);
+      return;
+    }
+    // Nothing was relayed: safe to reroute/retry this idempotent
+    // request after recording the backend failure.
+    backend.client.close();
+    shard.breaker.recordFailure();
+  }
+  std::vector<std::string> shed(
+      lines, serve::Response::shed("no eligible shard").serialize());
+  writeResponses(connection, shed);
+}
+
+void Router::writeResponses(Connection* connection,
+                            const std::vector<std::string>& lines) {
+  std::string wire;
+  for (const std::string& line : lines) {
+    serve::Response response;
+    if (serve::parseResponse(line, &response)) {
+      switch (response.status) {
+        case serve::ResponseStatus::kOk:
+          metrics_.ok.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case serve::ResponseStatus::kShed:
+          metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case serve::ResponseStatus::kDeadline:
+          metrics_.deadline.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case serve::ResponseStatus::kError:
+          metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    } else {
+      // A worker emitting an unparseable line is a worker bug; it is
+      // still relayed (the oracle flags it), but counted as an error.
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    wire += line;
+    wire += '\n';
+  }
+  sendAll(connection->fd.get(), wire.data(), wire.size());
+}
+
+util::Status Router::rollingReload() {
+  const std::lock_guard<std::mutex> lock(reload_mutex_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    const int port = shard.port.load();
+    // A down shard is skipped, not an error: its supervisor restart
+    // loads the new models anyway.
+    if (port <= 0 || !shard.probed_up.load()) continue;
+    shard.admin_down.store(true);
+    const Clock::time_point drain_start = Clock::now();
+    while (shard.in_flight.load() > 0 &&
+           msSince(drain_start) < options_.reload_drain_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    serve::LineClient admin;
+    util::Status failure = util::Status::okStatus();
+    if (!admin.connectTo(port, options_.backend_timeout_ms).ok()) {
+      failure = util::Status::ioError("shard " + std::to_string(i) +
+                                      ": reload connect failed");
+    } else if (!admin.sendLine("reload")) {
+      failure = util::Status::ioError("shard " + std::to_string(i) +
+                                      ": reload send failed");
+    } else {
+      const std::optional<std::string> raw = admin.readLine();
+      serve::Response response;
+      if (!raw.has_value() ||
+          !serve::parseResponse(*raw, &response)) {
+        failure = util::Status::ioError("shard " + std::to_string(i) +
+                                        ": no reload response");
+      } else if (response.status != serve::ResponseStatus::kOk) {
+        failure = util::Status::ioError("shard " + std::to_string(i) +
+                                        ": " + *raw);
+      }
+    }
+    shard.admin_down.store(false);
+    if (!failure.ok()) {
+      metrics_.reload_failures.fetch_add(1, std::memory_order_relaxed);
+      util::logWarn() << "fleet: rolling reload aborted: "
+                      << failure.message;
+      return failure;
+    }
+    metrics_.reloads.fetch_add(1, std::memory_order_relaxed);
+  }
+  util::logInfo() << "fleet: rolling reload complete";
+  return util::Status::okStatus();
+}
+
+serve::MetricsSnapshot Router::drainAndStop() {
+  bool was_running = true;
+  if (!running_.compare_exchange_strong(was_running, false)) {
+    return stats();
+  }
+  draining_.store(true);
+  if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (health_.joinable()) health_.join();
+  // Half-close client connections: readers see EOF after the response
+  // for their in-flight request (if any) has been relayed.
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& connection : connections_) {
+      if (connection.fd.valid()) {
+        ::shutdown(connection.fd.get(), SHUT_RD);
+      }
+    }
+  }
+  const Clock::time_point drain_start = Clock::now();
+  for (;;) {
+    bool all_done = true;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const Connection& connection : connections_) {
+        if (!connection.done.load()) {
+          all_done = false;
+          break;
+        }
+      }
+    }
+    if (all_done) break;
+    if (options_.drain_deadline_ms > 0.0 &&
+        msSince(drain_start) > options_.drain_deadline_ms) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Connection& connection : connections_) {
+      if (connection.thread.joinable()) connection.thread.join();
+    }
+    connections_.clear();
+  }
+  listen_fd_.reset();
+  const serve::MetricsSnapshot final_stats = stats();
+  util::logInfo() << "fleet: router drained; " << final_stats.toLine();
+  return final_stats;
+}
+
+}  // namespace tevot::fleet

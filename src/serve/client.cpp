@@ -2,18 +2,27 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 
 #include <cerrno>
 #include <cstring>
 
 namespace tevot::serve {
 
-util::Status LineClient::connectTo(int port) {
+util::Status LineClient::connectTo(int port, double recv_timeout_ms) {
   close();
   util::UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
     return util::Status::ioError(std::string("socket: ") +
                                  std::strerror(errno));
+  }
+  if (recv_timeout_ms > 0.0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout_ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (recv_timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) *
+        1000.0);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -61,6 +70,10 @@ std::optional<std::string> LineClient::readLine() {
       return line;
     }
     if (!fd_.valid()) return std::nullopt;
+    if (buffer_.size() > kMaxResponseLineBytes) {
+      close();  // unterminated over-cap line: poisoned stream
+      return std::nullopt;
+    }
     const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return std::nullopt;

@@ -12,11 +12,19 @@ namespace tevot::serve {
 
 class LineClient {
  public:
+  /// Hard cap on one response line. A server response is at most a
+  /// stats line (~2 KiB); a peer streaming an unbounded "line" is a
+  /// protocol violation, and readLine fails instead of buffering it.
+  static constexpr std::size_t kMaxResponseLineBytes = 1 << 20;
+
   LineClient() = default;
 
   /// Connects to 127.0.0.1:port. A refused connection is an IoError
   /// (callers retry while a freshly spawned server binds).
-  util::Status connectTo(int port);
+  /// recv_timeout_ms > 0 arms SO_RCVTIMEO so readLine() fails instead
+  /// of blocking forever on a wedged peer (the fleet router bounds
+  /// backend stalls with this).
+  util::Status connectTo(int port, double recv_timeout_ms = 0.0);
 
   bool connected() const { return fd_.valid(); }
 
@@ -24,7 +32,9 @@ class LineClient {
   bool sendLine(const std::string& line);
 
   /// Blocks for the next full response line (newline stripped).
-  /// nullopt on EOF / connection reset.
+  /// nullopt on EOF / connection reset, and on a response line over
+  /// kMaxResponseLineBytes — the connection is closed in that case
+  /// (mid-line state is unrecoverable), so connected() turns false.
   std::optional<std::string> readLine();
 
   /// Half-close: no more requests, responses still readable.

@@ -3,14 +3,22 @@
 // Counters are relaxed atomics (monotonic, per-event increments from
 // many threads); the latency histogram is mutex-guarded because
 // LatencyHistogram itself is not synchronized. snapshot() is the one
-// read surface — the control responses, the drain-time summary and
-// the bench JSON all render from the same struct.
+// read surface — the control responses, the drain-time summary, the
+// bench JSON and the fleet router's cross-process aggregation all
+// render from the same struct.
+//
+// toLine()/parseMetricsLine() are exact inverses for everything that
+// matters downstream: counters and gauges round-trip as integers, and
+// the latency distribution rides along as raw histogram buckets plus
+// hexfloat min/max, so a router merging parsed worker lines computes
+// the same percentiles as one process holding every sample.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "util/stats.hpp"
 
@@ -36,10 +44,31 @@ struct MetricsSnapshot {
   double p99_ms = 0.0;
   double max_ms = 0.0;
   std::uint64_t latency_count = 0;
+  /// Full latency distribution; the percentile fields above are
+  /// derived from it. Serialized bucket-exactly by toLine().
+  util::LatencyHistogram latency;
 
   /// "k=v k=v …" line used by the stats response and final summary.
+  /// Includes lat_min/lat_max (hexfloat) and sparse lat_hist buckets
+  /// so parseMetricsLine() reconstructs the histogram exactly.
   std::string toLine() const;
+
+  /// Fleet aggregation: sums counters and gauges, merges the latency
+  /// histogram bucket-exactly, recomputes the percentile fields, and
+  /// keeps the *minimum* generation (the oldest model set still
+  /// serving anywhere in the fleet).
+  void mergeFrom(const MetricsSnapshot& other);
+
+  /// Re-derives p50/p95/p99/max_ms/latency_count from `latency`.
+  void refreshLatencyFields();
 };
+
+/// Parses a toLine() rendering (leading "stats " tolerated) back into
+/// an exact snapshot: integers round-trip, the histogram is rebuilt
+/// from lat_hist/lat_min/lat_max, and percentiles are recomputed from
+/// it. False when the line is not a metrics line (missing requests=
+/// or a malformed k=v token).
+bool parseMetricsLine(std::string_view line, MetricsSnapshot* out);
 
 class ServeMetrics {
  public:

@@ -43,10 +43,13 @@ util::Status ModelRegistry::reload(util::FaultInjector* faults) {
     return util::Status::invalidArgument("no <fu>.model files in " +
                                          model_dir_);
   }
-  // The swap: one atomic pointer store. In-flight requests keep their
-  // snapshot alive via shared_ptr refcounts; new admissions see the
-  // new generation immediately.
-  current_.store(std::move(candidate));
+  // The swap: one pointer store under the snapshot mutex. In-flight
+  // requests keep their snapshot alive via shared_ptr refcounts; new
+  // admissions see the new generation immediately.
+  {
+    const std::lock_guard<std::mutex> lock(current_mutex_);
+    current_ = std::move(candidate);
+  }
   ++next_generation_;
   util::logInfo() << "serve: loaded model generation "
                   << (next_generation_ - 1) << " from " << model_dir_;

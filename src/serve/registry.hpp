@@ -1,7 +1,10 @@
 // Crash-safe model hot-reload: validate-then-swap.
 //
-// The registry owns the current immutable model set behind an atomic
-// shared_ptr. Every request snapshots the pointer once at admission
+// The registry owns the current immutable model set behind a
+// mutex-guarded shared_ptr (a plain mutex rather than
+// std::atomic<shared_ptr>: libstdc++'s _Sp_atomic unlocks its reader
+// path with relaxed ordering, which TSan cannot prove race-free).
+// Every request snapshots the pointer once at admission
 // and is served entirely from that snapshot, so a reload racing
 // in-flight requests can never produce a mixed-model answer. reload()
 // builds and validates a complete candidate set off to the side
@@ -54,11 +57,12 @@ class ModelRegistry {
 
   /// The current immutable set (never null after a successful load).
   std::shared_ptr<const ModelSet> snapshot() const {
-    return current_.load();
+    const std::lock_guard<std::mutex> lock(current_mutex_);
+    return current_;
   }
 
   std::uint64_t generation() const {
-    const std::shared_ptr<const ModelSet> set = current_.load();
+    const std::shared_ptr<const ModelSet> set = snapshot();
     return set == nullptr ? 0 : set->generation;
   }
 
@@ -67,7 +71,8 @@ class ModelRegistry {
  private:
   std::string model_dir_;
   std::mutex reload_mutex_;  ///< serializes concurrent reload()s
-  std::atomic<std::shared_ptr<const ModelSet>> current_{nullptr};
+  mutable std::mutex current_mutex_;  ///< guards current_
+  std::shared_ptr<const ModelSet> current_;
   std::uint64_t next_generation_ = 1;
 };
 

@@ -117,6 +117,22 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   count_ += other.count_;
 }
 
+LatencyHistogram LatencyHistogram::fromBuckets(
+    const std::vector<std::pair<std::size_t, std::size_t>>& buckets,
+    double min_ms, double max_ms) {
+  LatencyHistogram histogram;
+  for (const auto& [bucket, count] : buckets) {
+    if (bucket >= kBuckets || count == 0) continue;
+    histogram.counts_[bucket] += count;
+    histogram.count_ += count;
+  }
+  if (histogram.count_ > 0) {
+    histogram.min_ = min_ms;
+    histogram.max_ = max_ms;
+  }
+  return histogram;
+}
+
 double LatencyHistogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -5,6 +5,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace tevot::util {
@@ -103,6 +104,16 @@ class LatencyHistogram {
   static double bucketHighMs(std::size_t bucket);
   /// The bucket a value lands in (clamped to the first/last bucket).
   static std::size_t bucketIndex(double ms);
+
+  /// Reconstructs a histogram from externally serialized state —
+  /// (bucket, count) pairs plus the exact observed min/max — so a
+  /// histogram shipped over a wire (the serve stats surface) merges
+  /// exactly, as if every add() had happened locally. Out-of-range
+  /// bucket indices and zero counts are ignored; an empty pair set
+  /// yields an empty histogram regardless of min/max.
+  static LatencyHistogram fromBuckets(
+      const std::vector<std::pair<std::size_t, std::size_t>>& buckets,
+      double min_ms, double max_ms);
 
  private:
   std::array<std::size_t, kBuckets> counts_{};

@@ -1,0 +1,295 @@
+// In-process Router tests: sharding policies, typed backpressure,
+// shard eviction/re-admission, and cross-process stats aggregation —
+// against real serve::Server shards on loopback.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/router.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve_test_util.hpp"
+
+namespace tevot::fleet {
+namespace {
+
+using serve::ErrorCode;
+using serve::LineClient;
+using serve::Response;
+using serve::ResponseStatus;
+using serve_test::serveTestModels;
+
+std::unique_ptr<serve::Server> bootShard(std::size_t queue_capacity = 16) {
+  serve::ServerOptions options;
+  options.model_dir = serveTestModels().dir;
+  options.workers = 2;
+  options.queue_capacity = queue_capacity;
+  auto server = std::make_unique<serve::Server>(options);
+  EXPECT_TRUE(server->start().ok());
+  return server;
+}
+
+RouterOptions fastRouterOptions() {
+  RouterOptions options;
+  options.health_interval_ms = 10.0;
+  options.breaker.cooldown_ms = 25.0;
+  options.backend_timeout_ms = 2000.0;
+  return options;
+}
+
+Response request(LineClient& client, const std::string& line) {
+  EXPECT_TRUE(client.sendLine(line));
+  const std::optional<std::string> raw = client.readLine();
+  EXPECT_TRUE(raw.has_value());
+  Response response;
+  EXPECT_TRUE(serve::parseResponse(raw.value_or(""), &response));
+  return response;
+}
+
+bool awaitAllEligible(const Router& router, double timeout_ms = 5000.0) {
+  for (int i = 0; i < static_cast<int>(timeout_ms / 10.0); ++i) {
+    bool all = true;
+    for (std::size_t s = 0; s < router.shardCount(); ++s) {
+      if (!router.shardEligible(s)) all = false;
+    }
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(RouterTest, ParsesPolicyNames) {
+  ShardPolicy policy = ShardPolicy::kPerFu;
+  EXPECT_TRUE(parseShardPolicy("replicated", &policy));
+  EXPECT_EQ(policy, ShardPolicy::kReplicated);
+  EXPECT_TRUE(parseShardPolicy("per-fu", &policy));
+  EXPECT_EQ(policy, ShardPolicy::kPerFu);
+  EXPECT_FALSE(parseShardPolicy("sharded", &policy));
+  EXPECT_STREQ(shardPolicyName(ShardPolicy::kReplicated), "replicated");
+  EXPECT_STREQ(shardPolicyName(ShardPolicy::kPerFu), "per-fu");
+}
+
+TEST(RouterTest, ReplicatedRelaysBitIdenticalResponses) {
+  std::vector<std::unique_ptr<serve::Server>> shards;
+  std::vector<ShardEndpoint> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    shards.push_back(bootShard());
+    endpoints.push_back({shards.back()->port(), {}});
+  }
+  Router router(fastRouterOptions(), endpoints);
+  ASSERT_TRUE(router.start().ok());
+  ASSERT_TRUE(awaitAllEligible(router));
+
+  // The same request through the router and straight to a shard must
+  // produce byte-identical OK lines (hexfloat relay).
+  const std::string line = "predict int_add 0x1.ccccccccccccdp-1 25 300 7 9 1 2";
+  LineClient direct;
+  ASSERT_TRUE(direct.connectTo(shards[0]->port()).ok());
+  ASSERT_TRUE(direct.sendLine(line));
+  const std::optional<std::string> direct_raw = direct.readLine();
+  ASSERT_TRUE(direct_raw.has_value());
+
+  LineClient via_router;
+  ASSERT_TRUE(via_router.connectTo(router.port()).ok());
+  for (int i = 0; i < 8; ++i) {  // hit both shards round-robin
+    ASSERT_TRUE(via_router.sendLine(line));
+    const std::optional<std::string> raw = via_router.readLine();
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_EQ(*raw, *direct_raw);
+  }
+
+  // Batches: exactly n typed lines, bit-identical too.
+  ASSERT_TRUE(via_router.sendLine(
+      "predictN int_add 0x1.ccccccccccccdp-1 25 300 2 7 9 1 2 7 9 1 2"));
+  for (int i = 0; i < 2; ++i) {
+    const std::optional<std::string> raw = via_router.readLine();
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_EQ(*raw, *direct_raw);
+  }
+
+  router.drainAndStop();
+  for (auto& shard : shards) shard->drainAndStop();
+}
+
+TEST(RouterTest, PerFuPolicyRoutesToOwnerOnly) {
+  std::vector<std::unique_ptr<serve::Server>> shards;
+  shards.push_back(bootShard());
+  shards.push_back(bootShard());
+  // Shard 0 owns int_add; shard 1 owns a FU nobody asks for.
+  const std::vector<ShardEndpoint> endpoints = {
+      {shards[0]->port(), {"int_add"}},
+      {shards[1]->port(), {"int_mul"}},
+  };
+  RouterOptions options = fastRouterOptions();
+  options.policy = ShardPolicy::kPerFu;
+  Router router(options, endpoints);
+  ASSERT_TRUE(router.start().ok());
+  ASSERT_TRUE(awaitAllEligible(router));
+
+  LineClient client;
+  ASSERT_TRUE(client.connectTo(router.port()).ok());
+  const Response ok = request(client, "predict int_add 0.9 25 300 1 2 3 4");
+  EXPECT_EQ(ok.status, ResponseStatus::kOk);
+
+  // A FU no shard owns is refused with the typed worker error.
+  const Response unknown =
+      request(client, "predict no_such_fu 0.9 25 300 1 2 3 4");
+  EXPECT_EQ(unknown.status, ResponseStatus::kError);
+  EXPECT_EQ(unknown.code, ErrorCode::kUnknownFu);
+
+  // Only the owner saw the predict. Worker `ok` also counts the
+  // router's in-band health probes, so the predict-only latency
+  // counter is the discriminating surface.
+  const serve::MetricsSnapshot s0 = shards[0]->stats();
+  const serve::MetricsSnapshot s1 = shards[1]->stats();
+  EXPECT_GE(s0.latency_count, 1u);
+  EXPECT_EQ(s1.latency_count, 0u);
+
+  router.drainAndStop();
+  for (auto& shard : shards) shard->drainAndStop();
+}
+
+TEST(RouterTest, NoEligibleShardIsTypedShedNeverSilence) {
+  std::vector<std::unique_ptr<serve::Server>> shards;
+  shards.push_back(bootShard());
+  Router router(fastRouterOptions(), {{shards[0]->port(), {}}});
+  ASSERT_TRUE(router.start().ok());
+  ASSERT_TRUE(awaitAllEligible(router));
+
+  LineClient client;
+  ASSERT_TRUE(client.connectTo(router.port()).ok());
+  EXPECT_EQ(request(client, "predict int_add 0.9 25 300 1 2 3 4").status,
+            ResponseStatus::kOk);
+
+  // Evict the only shard: every subsequent predict must still get a
+  // typed response line (SHED), and a batch gets n of them.
+  router.markShardDown(0);
+  EXPECT_FALSE(router.shardEligible(0));
+  const Response shed = request(client, "predict int_add 0.9 25 300 1 2 3 4");
+  EXPECT_EQ(shed.status, ResponseStatus::kShed);
+  ASSERT_TRUE(client.sendLine("predictN int_add 0.9 25 300 3 1 2 3 4 1 2 3 4 1 2 3 4"));
+  for (int i = 0; i < 3; ++i) {
+    const std::optional<std::string> raw = client.readLine();
+    ASSERT_TRUE(raw.has_value());
+    Response response;
+    ASSERT_TRUE(serve::parseResponse(*raw, &response));
+    EXPECT_EQ(response.status, ResponseStatus::kShed);
+  }
+
+  // Control surface keeps answering while the fleet is down.
+  const Response health = request(client, "health");
+  EXPECT_EQ(health.status, ResponseStatus::kOk);
+  EXPECT_NE(health.detail.find("healthy=0"), std::string::npos)
+      << health.detail;
+
+  const serve::MetricsSnapshot stats = router.drainAndStop();
+  EXPECT_EQ(stats.requests,
+            stats.ok + stats.shed + stats.deadline + stats.errors);
+  shards[0]->drainAndStop();
+}
+
+TEST(RouterTest, DeadShardIsEvictedAndReadmittedAfterRestart) {
+  std::vector<std::unique_ptr<serve::Server>> shards;
+  shards.push_back(bootShard());
+  shards.push_back(bootShard());
+  const std::vector<ShardEndpoint> endpoints = {
+      {shards[0]->port(), {}}, {shards[1]->port(), {}}};
+  Router router(fastRouterOptions(), endpoints);
+  ASSERT_TRUE(router.start().ok());
+  ASSERT_TRUE(awaitAllEligible(router));
+
+  // Kill shard 1 without telling the router: the health probes must
+  // open its breaker and evict it.
+  shards[1]->drainAndStop();
+  shards[1].reset();
+  bool evicted = false;
+  for (int i = 0; i < 500 && !evicted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    evicted = !router.shardEligible(1);
+  }
+  EXPECT_TRUE(evicted);
+
+  // Service continues on the sibling.
+  LineClient client;
+  ASSERT_TRUE(client.connectTo(router.port()).ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(request(client, "predict int_add 0.9 25 300 1 2 3 4").status,
+              ResponseStatus::kOk);
+  }
+
+  // Restart on a fresh port (the supervisor path) and require
+  // probe-driven re-admission.
+  shards[1] = bootShard();
+  router.setShardPort(1, shards[1]->port());
+  bool readmitted = false;
+  for (int i = 0; i < 500 && !readmitted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    readmitted = router.shardEligible(1);
+  }
+  EXPECT_TRUE(readmitted);
+
+  router.drainAndStop();
+  for (auto& shard : shards) {
+    if (shard) shard->drainAndStop();
+  }
+}
+
+TEST(RouterTest, WorkerStatsAggregateExactly) {
+  std::vector<std::unique_ptr<serve::Server>> shards;
+  std::vector<ShardEndpoint> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    shards.push_back(bootShard());
+    endpoints.push_back({shards.back()->port(), {}});
+  }
+  Router router(fastRouterOptions(), endpoints);
+  ASSERT_TRUE(router.start().ok());
+  ASSERT_TRUE(awaitAllEligible(router));
+
+  LineClient client;
+  ASSERT_TRUE(client.connectTo(router.port()).ok());
+  constexpr int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(request(client, "predict int_add 0.9 25 300 " +
+                                  std::to_string(i) + " 2 3 4")
+                  .status,
+              ResponseStatus::kOk);
+  }
+  // Let the health loop poll the final counters.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const serve::MetricsSnapshot aggregated = router.workerStats();
+  serve::MetricsSnapshot direct;
+  for (const auto& shard : shards) direct.mergeFrom(shard->stats());
+  // The health probes keep issuing `stats` requests of their own, so
+  // the raw ok/requests counters drift between the two snapshots;
+  // the latency surface is predict-only and must match exactly: the
+  // aggregate assembled from parsed wire lines carries the same 24
+  // samples, bucket for bucket, as the in-process merge.
+  EXPECT_EQ(aggregated.latency_count, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(direct.latency_count, static_cast<std::uint64_t>(kRequests));
+  for (std::size_t b = 0; b < util::LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(aggregated.latency.bucketCount(b),
+              direct.latency.bucketCount(b))
+        << "bucket " << b;
+  }
+  const double agg_min = aggregated.latency.minMs();
+  const double direct_min = direct.latency.minMs();
+  EXPECT_EQ(std::memcmp(&agg_min, &direct_min, sizeof(double)), 0);
+  const double agg_max = aggregated.latency.maxMs();
+  const double direct_max = direct.latency.maxMs();
+  EXPECT_EQ(std::memcmp(&agg_max, &direct_max, sizeof(double)), 0);
+  EXPECT_DOUBLE_EQ(aggregated.p50_ms, direct.p50_ms);
+  EXPECT_DOUBLE_EQ(aggregated.p99_ms, direct.p99_ms);
+  EXPECT_EQ(aggregated.queue_capacity, direct.queue_capacity);
+
+  router.drainAndStop();
+  for (auto& shard : shards) shard->drainAndStop();
+}
+
+}  // namespace
+}  // namespace tevot::fleet

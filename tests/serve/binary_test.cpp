@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include "serve/client.hpp"
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve_test_util.hpp"
 
@@ -172,6 +173,54 @@ TEST(ServeBinaryTest, SighupHotReloadsModels) {
   EXPECT_TRUE(reloaded);
   ASSERT_EQ(::kill(process.pid, SIGTERM), 0);
   EXPECT_EQ(process.wait(), 0);
+}
+
+TEST(ServeBinaryTest, FinalStatsLineIsMachineParseable) {
+  // The drain summary on stderr is the fleet supervisor's only view
+  // of a dead worker's counters, so it must round-trip through
+  // parseMetricsLine and satisfy the accounting invariant.
+  ServeProcess process =
+      spawnServe({"--model-dir", serveTestModels().dir, "--workers", "2"});
+  ASSERT_GT(process.port, 0);
+
+  LineClient client;
+  ASSERT_TRUE(client.connectTo(process.port).ok());
+  int expected_ok = 0, expected_errors = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Response response =
+        i % 5 == 4
+            ? request(client, "definitely not a verb")
+            : request(client, "predict int_add 0.9 25 300 " +
+                                  std::to_string(i) + " 2 3 4");
+    if (response.status == ResponseStatus::kOk) ++expected_ok;
+    if (response.status == ResponseStatus::kError) ++expected_errors;
+  }
+  ASSERT_EQ(::kill(process.pid, SIGTERM), 0);
+  ASSERT_EQ(process.wait(), 0);
+
+  const std::string err = process.readStderr();
+  std::string stats_line;
+  std::size_t start = 0;
+  while (start < err.size()) {
+    std::size_t end = err.find('\n', start);
+    if (end == std::string::npos) end = err.size();
+    const std::string line = err.substr(start, end - start);
+    if (line.find("final stats:") != std::string::npos) stats_line = line;
+    start = end + 1;
+  }
+  ASSERT_FALSE(stats_line.empty()) << err;
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(parseMetricsLine(stats_line, &parsed)) << stats_line;
+  EXPECT_EQ(parsed.requests, 20u);
+  EXPECT_EQ(parsed.ok, static_cast<std::uint64_t>(expected_ok));
+  EXPECT_EQ(parsed.errors, static_cast<std::uint64_t>(expected_errors));
+  EXPECT_EQ(parsed.requests,
+            parsed.ok + parsed.shed + parsed.deadline + parsed.errors);
+  // The latency histogram rode along: one sample per accepted predict.
+  EXPECT_EQ(parsed.latency_count,
+            static_cast<std::uint64_t>(expected_ok));
+  EXPECT_GT(parsed.max_ms, 0.0);
 }
 
 TEST(ServeBinaryTest, SigintAlsoDrainsCleanly) {

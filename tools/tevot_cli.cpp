@@ -78,6 +78,7 @@
 #include "util/thread_pool.hpp"
 
 #include "check/flat_oracle.hpp"
+#include "check/fleet_oracle.hpp"
 #include "check/oracles.hpp"
 #include "check/property.hpp"
 #include "check/serve_oracle.hpp"
@@ -318,6 +319,7 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
   properties.emplace_back("sweep/fault-tolerance",
                           check::checkSweepFaultTolerance);
   properties.emplace_back("serve/resilience", check::checkServeResilience);
+  properties.emplace_back("fleet/resilience", check::checkFleetResilience);
   if (util::envFlag("TEVOT_CHECK_FORCE_FAIL")) {
     // Internal self-test knob: a property that always fails, so the
     // exit-code taxonomy (3 = check failure) can be tested end to end.

@@ -1,0 +1,136 @@
+// tevot_loadgen — open-loop load generator for tevot_serve and
+// tevot_router (src/fleet/loadgen.hpp).
+//
+//   tevot_loadgen --port P [--fu NAME] [--duration-s S] [--rate-qps Q]
+//                 [--arrival poisson|uniform|bursty] [--connections N]
+//                 [--batch-fraction F] [--batch-tuples N]
+//                 [--malformed-fraction F] [--deadline-ms MS]
+//                 [--seed N] [--label TEXT] [--json PATH]
+//
+// Drives 127.0.0.1:P with a reproducible mixed storm (plain predicts,
+// predictN batches, malformed lines) on an open-loop arrival schedule
+// and prints the classified summary on stdout. --json writes the
+// BENCH_fleet_loadgen.json payload (achieved QPS, p50/p95/p99,
+// shed/deadline/error counts); default path BENCH_fleet_loadgen.json
+// in the current directory when --json is given without a value
+// elsewhere in CI.
+//
+// Exit codes: 0 storm completed (server answers, however degraded,
+// are data, not failures), 1 nothing was ever answered, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "fleet/loadgen.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tevot_loadgen --port P [--fu NAME] [--duration-s S]\n"
+      "                     [--rate-qps Q]\n"
+      "                     [--arrival poisson|uniform|bursty]\n"
+      "                     [--connections N] [--batch-fraction F]\n"
+      "                     [--batch-tuples N] [--malformed-fraction F]\n"
+      "                     [--deadline-ms MS] [--seed N] [--label TEXT]\n"
+      "                     [--json PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tevot;
+
+  fleet::LoadgenOptions options;
+  std::string label = "default";
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tevot_loadgen: %s needs a value\n",
+                     arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--port") {
+      if ((v = value()) == nullptr) return usage();
+      options.port = static_cast<int>(std::atol(v));
+      if (options.port <= 0 || options.port > 65535) return usage();
+    } else if (arg == "--fu") {
+      if ((v = value()) == nullptr) return usage();
+      options.fu = v;
+    } else if (arg == "--duration-s") {
+      if ((v = value()) == nullptr) return usage();
+      options.duration_s = std::atof(v);
+    } else if (arg == "--rate-qps") {
+      if ((v = value()) == nullptr) return usage();
+      options.rate_qps = std::atof(v);
+      if (options.rate_qps <= 0.0) return usage();
+    } else if (arg == "--arrival") {
+      if ((v = value()) == nullptr) return usage();
+      if (!fleet::parseArrival(v, &options.arrival)) return usage();
+    } else if (arg == "--connections") {
+      if ((v = value()) == nullptr) return usage();
+      options.connections = static_cast<int>(std::atol(v));
+      if (options.connections <= 0) return usage();
+    } else if (arg == "--batch-fraction") {
+      if ((v = value()) == nullptr) return usage();
+      options.batch_fraction = std::atof(v);
+    } else if (arg == "--batch-tuples") {
+      if ((v = value()) == nullptr) return usage();
+      options.batch_tuples = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--malformed-fraction") {
+      if ((v = value()) == nullptr) return usage();
+      options.malformed_fraction = std::atof(v);
+    } else if (arg == "--deadline-ms") {
+      if ((v = value()) == nullptr) return usage();
+      options.deadline_ms = std::atof(v);
+    } else if (arg == "--seed") {
+      if ((v = value()) == nullptr) return usage();
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--label") {
+      if ((v = value()) == nullptr) return usage();
+      label = v;
+    } else if (arg == "--json") {
+      if ((v = value()) == nullptr) return usage();
+      json_path = v;
+    } else {
+      std::fprintf(stderr, "tevot_loadgen: unknown option %s\n",
+                   arg.c_str());
+      return usage();
+    }
+  }
+  if (options.port == 0) return usage();
+
+  std::fprintf(stderr,
+               "tevot_loadgen: %s storm, %.0f qps x %.1fs over %d "
+               "connections (seed %llu)\n",
+               fleet::arrivalName(options.arrival), options.rate_qps,
+               options.duration_s, options.connections,
+               static_cast<unsigned long long>(options.seed));
+  const fleet::LoadgenReport report = fleet::runLoadgen(options);
+  std::printf("tevot_loadgen: %s\n", report.summaryLine().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "tevot_loadgen: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << report.toJson(label, options);
+    std::fprintf(stderr, "tevot_loadgen: wrote %s\n", json_path.c_str());
+  }
+
+  if (report.responsesReceived() == 0) {
+    std::fprintf(stderr, "tevot_loadgen: no responses at all\n");
+    return 1;
+  }
+  return 0;
+}
