@@ -1,0 +1,249 @@
+#include "check/verify_oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "check/property.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/random_forest.hpp"
+#include "verify/box.hpp"
+#include "verify/certify.hpp"
+#include "verify/interval_engine.hpp"
+
+namespace tevot::check {
+namespace {
+
+using verify::Box;
+using verify::Interval;
+
+[[noreturn]] void fail(const std::ostringstream& msg) {
+  throw PropertyViolation(msg.str());
+}
+
+ml::Dataset randomRegressionTask(util::Rng& rng, int rows, int cols) {
+  ml::Dataset data;
+  std::vector<float> row(static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    float sum = 0.0f;
+    for (float& value : row) {
+      value = static_cast<float>(rng.nextDouble(0.0, 4.0));
+      sum += value;
+    }
+    data.append(row, sum * static_cast<float>(rng.nextDouble(0.5, 1.5)));
+  }
+  return data;
+}
+
+ml::RandomForestRegressor randomForest(util::Rng& rng, int cols,
+                                       int n_trees) {
+  const int rows = static_cast<int>(rng.nextInRange(40, 90));
+  const ml::Dataset data = randomRegressionTask(rng, rows, cols);
+  ml::ForestParams params;
+  params.n_trees = n_trees;
+  params.tree.max_depth = static_cast<int>(rng.nextInRange(3, 8));
+  ml::RandomForestRegressor forest;
+  util::Rng fit_rng = rng.fork();
+  forest.fit(data, params, fit_rng);
+  return forest;
+}
+
+/// A random box inside [-2, 6] per dimension — wider than the training
+/// draw, so boxes also sit partly outside every threshold.
+Box randomBox(util::Rng& rng, int cols) {
+  Box box = Box::uniform(static_cast<std::size_t>(cols), Interval{});
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    auto a = static_cast<float>(rng.nextDouble(-2.0, 6.0));
+    auto b = static_cast<float>(rng.nextDouble(-2.0, 6.0));
+    if (a > b) std::swap(a, b);
+    box[i] = Interval{a, b};
+  }
+  return box;
+}
+
+/// Uniform draw from a closed float interval; the float cast may round
+/// past an endpoint, so clamp back inside.
+float sampleIn(util::Rng& rng, const Interval& iv) {
+  const auto v = static_cast<float>(rng.nextDouble(
+      static_cast<double>(iv.lo), static_cast<double>(iv.hi)));
+  return std::clamp(v, iv.lo, iv.hi);
+}
+
+void sampleRow(util::Rng& rng, const Box& box, std::vector<float>& row) {
+  row.resize(box.size());
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    row[i] = sampleIn(rng, box[i]);
+  }
+}
+
+/// Three-node step tree: left leaf for x[feature] <= threshold, right
+/// leaf above — the building block for forests whose monotonicity in
+/// one feature is known by construction.
+ml::DecisionTree stepTree(int feature, float threshold, float left_value,
+                          float right_value) {
+  std::vector<ml::DecisionTree::Node> nodes(3);
+  nodes[0] = ml::DecisionTree::Node{feature, threshold, 1, 2, 0.0f};
+  nodes[1] = ml::DecisionTree::Node{-1, 0.0f, -1, -1, left_value};
+  nodes[2] = ml::DecisionTree::Node{-1, 0.0f, -1, -1, right_value};
+  ml::DecisionTree tree;
+  tree.setNodes(std::move(nodes));
+  return tree;
+}
+
+void containmentCase(std::uint64_t seed, util::Rng& rng, int box_index) {
+  const int cols = static_cast<int>(rng.nextInRange(2, 6));
+  const int n_trees = static_cast<int>(rng.nextInRange(2, 7));
+  const ml::RandomForestRegressor forest = randomForest(rng, cols, n_trees);
+  const ml::FlatForest flat = ml::FlatForest::fromRegressor(forest);
+  const Box box = randomBox(rng, cols);
+  const verify::ForestBounds bounds = verify::forestBounds(flat, box);
+
+  std::vector<float> row;
+  float sample_min = 0.0f;
+  float sample_max = 0.0f;
+  for (int i = 0; i < kVerifySamplesPerBox; ++i) {
+    sampleRow(rng, box, row);
+    const float p = forest.predict(row);  // scalar walk: the reference
+    if (i == 0) {
+      sample_min = sample_max = p;
+    } else {
+      sample_min = std::min(sample_min, p);
+      sample_max = std::max(sample_max, p);
+    }
+    if (p < bounds.lo || p > bounds.hi) {
+      std::ostringstream msg;
+      msg << "verify-containment seed " << seed << " box " << box_index
+          << " sample " << i << ": prediction " << p
+          << " escapes certified interval [" << bounds.lo << ", "
+          << bounds.hi << "]";
+      fail(msg);
+    }
+  }
+  expect(bounds.lo <= sample_min && sample_max <= bounds.hi,
+         "certified interval does not contain the empirical min/max");
+}
+
+void monotoneCase(std::uint64_t seed, util::Rng& rng, bool violating) {
+  const int cols = static_cast<int>(rng.nextInRange(3, 6));
+  const auto feature = static_cast<int>(rng.nextInRange(0, cols - 1));
+  std::vector<ml::DecisionTree> trees;
+  const int steps = static_cast<int>(rng.nextInRange(2, 4));
+  for (int i = 0; i < steps; ++i) {
+    const auto thr = static_cast<float>(rng.nextDouble(0.5, 3.5));
+    const auto base = static_cast<float>(rng.nextDouble(10.0, 100.0));
+    const auto delta = static_cast<float>(rng.nextDouble(1.0, 10.0));
+    // Violating forests step UP in the feature (breaking
+    // non-increasing); conforming ones step down.
+    trees.push_back(stepTree(feature, thr, base,
+                             violating ? base + delta : base - delta));
+  }
+  // Noise trees on other features never affect monotonicity in
+  // `feature` — the sum separates additively.
+  const int other = (feature + 1) % cols;
+  trees.push_back(stepTree(other, static_cast<float>(rng.nextDouble(0.5, 3.5)),
+                           static_cast<float>(rng.nextDouble(10.0, 50.0)),
+                           static_cast<float>(rng.nextDouble(10.0, 50.0))));
+  ml::RandomForestRegressor forest;
+  forest.setTrees(trees);
+  const ml::FlatForest flat = ml::FlatForest::compile(trees);
+
+  const Box box = Box::uniform(static_cast<std::size_t>(cols),
+                               Interval{0.0f, 4.0f});
+  const verify::MonotoneResult res = verify::certifyMonotone(
+      flat, box, feature, verify::Direction::kNonIncreasing,
+      verify::CertifyOptions{100000});
+
+  if (!violating) {
+    expect(res.verdict == verify::Verdict::kCertified,
+           "constructed-monotone forest was not certified");
+    expect(!res.counterexample.has_value(),
+           "certified result carries a counterexample");
+    return;
+  }
+  if (res.verdict != verify::Verdict::kViolated ||
+      !res.counterexample.has_value()) {
+    std::ostringstream msg;
+    msg << "verify-certification seed " << seed
+        << ": constructed violation not reported (verdict "
+        << verify::verdictName(res.verdict) << ")";
+    fail(msg);
+  }
+  // Counterexample truth: every sampled (x, v, v') pair must violate.
+  const verify::MonotoneCounterexample& ce = *res.counterexample;
+  std::vector<float> row;
+  for (int i = 0; i < 50; ++i) {
+    sampleRow(rng, ce.box, row);
+    row[static_cast<std::size_t>(feature)] = sampleIn(rng, ce.low_cell);
+    const float at_low = forest.predict(row);
+    row[static_cast<std::size_t>(feature)] = sampleIn(rng, ce.high_cell);
+    const float at_high = forest.predict(row);
+    if (!(at_low < at_high)) {
+      std::ostringstream msg;
+      msg << "verify-certification seed " << seed << " sample " << i
+          << ": counterexample box does not violate (low " << at_low
+          << " vs high " << at_high << ")";
+      fail(msg);
+    }
+  }
+}
+
+void upperBoundCase(std::uint64_t seed, util::Rng& rng) {
+  // A single tree makes both forest bounds attained, so the verdict at
+  // any limit strictly between them is forced.
+  const int cols = static_cast<int>(rng.nextInRange(2, 5));
+  const ml::RandomForestRegressor forest = randomForest(rng, cols, 1);
+  const ml::FlatForest flat = ml::FlatForest::fromRegressor(forest);
+  const Box box = randomBox(rng, cols);
+  const verify::ForestBounds bounds = verify::forestBounds(flat, box);
+
+  const verify::UpperBoundResult at_max = verify::certifyUpperBound(
+      flat, box, bounds.hi, verify::CertifyOptions{100000});
+  expect(at_max.verdict == verify::Verdict::kCertified,
+         "upper bound at the certified max did not certify");
+
+  if (bounds.lo >= bounds.hi) return;  // constant over the box
+  const float limit = bounds.lo + (bounds.hi - bounds.lo) / 2.0f;
+  if (limit >= bounds.hi || limit < bounds.lo) return;  // degenerate span
+  const verify::UpperBoundResult res = verify::certifyUpperBound(
+      flat, box, limit, verify::CertifyOptions{100000});
+  if (res.verdict != verify::Verdict::kViolated ||
+      !res.counterexample.has_value()) {
+    std::ostringstream msg;
+    msg << "verify-certification seed " << seed
+        << ": attained max " << bounds.hi << " above limit " << limit
+        << " not reported as a violation (verdict "
+        << verify::verdictName(res.verdict) << ")";
+    fail(msg);
+  }
+  // Definite box: every sampled point must exceed the limit.
+  std::vector<float> row;
+  for (int i = 0; i < 100; ++i) {
+    sampleRow(rng, res.counterexample->box, row);
+    const float p = forest.predict(row);
+    if (!(p > limit)) {
+      std::ostringstream msg;
+      msg << "verify-certification seed " << seed << " sample " << i
+          << ": counterexample point predicts " << p
+          << " <= limit " << limit;
+      fail(msg);
+    }
+  }
+}
+
+}  // namespace
+
+void checkVerifyBoundsContainment(std::uint64_t seed, util::Rng& rng) {
+  for (int i = 0; i < kVerifyBoxesPerSeed; ++i) {
+    containmentCase(seed, rng, i);
+  }
+}
+
+void checkVerifyCertification(std::uint64_t seed, util::Rng& rng) {
+  monotoneCase(seed, rng, /*violating=*/true);
+  monotoneCase(seed, rng, /*violating=*/false);
+  upperBoundCase(seed, rng);
+}
+
+}  // namespace tevot::check

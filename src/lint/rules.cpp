@@ -500,15 +500,22 @@ const Rule* findRule(std::string_view id) {
   return nullptr;
 }
 
-LintReport runLint(const LintContext& ctx, WaiverSet* waivers) {
+LintReport runLint(const LintContext& ctx, WaiverSet* waivers,
+                   util::ThreadPool* pool) {
   if (ctx.netlist == nullptr) {
     throw std::invalid_argument("runLint: LintContext has no netlist");
   }
   LintReport report;
   report.design = ctx.netlist->name();
-  for (const Rule& rule : builtinRules()) {
-    report.rules_run.push_back(rule.id);
-    std::vector<Finding> findings;
+  const std::span<const Rule> rules = builtinRules();
+  // Per-rule finding slots, filled independently (in parallel when a
+  // pool is given) and concatenated in catalog order — the report is
+  // byte-identical at any thread count. The per-rule try/catch keeps
+  // exceptions inside each slot, so parallelFor never sees one.
+  std::vector<std::vector<Finding>> slots(rules.size());
+  const auto run_rule = [&](std::size_t i) {
+    const Rule& rule = rules[i];
+    std::vector<Finding>& findings = slots[i];
     try {
       rule.run(ctx, findings);
       for (Finding& finding : findings) {
@@ -516,11 +523,20 @@ LintReport runLint(const LintContext& ctx, WaiverSet* waivers) {
         finding.severity = rule.severity;
       }
     } catch (const std::exception& error) {
+      findings.clear();
       findings.push_back(Finding{rule.id, Severity::kError, "-",
                                  std::string("rule failed: ") + error.what(),
                                  false});
     }
-    for (Finding& finding : findings) {
+  };
+  if (pool != nullptr && pool->threadCount() > 1) {
+    pool->parallelFor(rules.size(), run_rule);
+  } else {
+    for (std::size_t i = 0; i < rules.size(); ++i) run_rule(i);
+  }
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    report.rules_run.push_back(rules[i].id);
+    for (Finding& finding : slots[i]) {
       if (waivers != nullptr) finding.waived = waivers->matches(finding);
       report.findings.push_back(std::move(finding));
     }

@@ -34,6 +34,7 @@
 #include "lint/finding.hpp"
 #include "lint/waiver.hpp"
 #include "netlist/netlist.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tevot::lint {
 
@@ -78,7 +79,14 @@ const Rule* findRule(std::string_view id);
 /// Runs every built-in rule over `ctx`, applies `waivers` (when given)
 /// to the findings, and appends a WV001 info finding per unused
 /// waiver. Throws std::invalid_argument when ctx.netlist is null.
-LintReport runLint(const LintContext& ctx, WaiverSet* waivers = nullptr);
+///
+/// A `pool` parallelizes rule execution: rules write into per-rule
+/// slots concatenated in catalog order, and the waiver pass runs
+/// serially afterwards, so the report is byte-identical to the serial
+/// run at any thread count (rules are pure over the shared read-only
+/// context).
+LintReport runLint(const LintContext& ctx, WaiverSet* waivers = nullptr,
+                   util::ThreadPool* pool = nullptr);
 
 /// Canonical location strings used by rules and waiver files.
 std::string netLocation(const netlist::Netlist& nl, netlist::NetId net);

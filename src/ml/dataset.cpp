@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+
+#include "util/status.hpp"
 
 namespace tevot::ml {
 
@@ -16,6 +19,22 @@ void Matrix::appendRow(std::span<const float> values) {
   }
   data_.insert(data_.end(), values.begin(), values.end());
   ++rows_;
+}
+
+void Dataset::append(std::span<const float> features, float label) {
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (!std::isfinite(features[i])) {
+      throw util::StatusError(util::Status::invalidArgument(
+          "Dataset::append: feature " + std::to_string(i) +
+          " is not finite"));
+    }
+  }
+  if (!std::isfinite(label)) {
+    throw util::StatusError(
+        util::Status::invalidArgument("Dataset::append: label is not finite"));
+  }
+  x.appendRow(features);
+  y.push_back(label);
 }
 
 Dataset Dataset::subset(std::span<const std::size_t> indices) const {

@@ -55,10 +55,11 @@ struct Dataset {
   std::size_t size() const { return y.size(); }
   std::size_t features() const { return x.cols(); }
 
-  void append(std::span<const float> features, float label) {
-    x.appendRow(features);
-    y.push_back(label);
-  }
+  /// Appends one labeled row. Throws util::StatusError
+  /// (kInvalidArgument) on a NaN/inf feature or label: the tree
+  /// fitter's split scan and the FlatForest batch kernel both assume
+  /// finite values, so the poison is rejected where it enters.
+  void append(std::span<const float> features, float label);
 
   /// Row subset by index.
   Dataset subset(std::span<const std::size_t> indices) const;

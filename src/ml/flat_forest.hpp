@@ -87,7 +87,6 @@ class FlatForest {
   /// shape (and bit-identical values).
   std::vector<float> predictBatch(const Matrix& x) const;
 
- private:
   /// Packed traversal record; one per node, all trees concatenated.
   /// Internal: split threshold, feature index, absolute left-child
   /// index (right child at left + 1 by layout). Leaf: threshold +inf,
@@ -98,6 +97,14 @@ class FlatForest {
     std::int32_t left = 0;
   };
 
+  /// Read-only views of the compiled layout, for static analysis over
+  /// the forest (verify's interval engine walks these directly so its
+  /// bounds apply to exactly what inference executes).
+  std::span<const Node> nodes() const { return nodes_; }
+  std::span<const float> leafValues() const { return value_; }
+  std::span<const std::int32_t> roots() const { return roots_; }
+
+ private:
   std::vector<Node> nodes_;
   std::vector<float> value_;          ///< leaf value (0 at internals)
   std::vector<std::int32_t> roots_;   ///< root node index per tree

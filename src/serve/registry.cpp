@@ -5,11 +5,12 @@
 
 #include "circuits/fu.hpp"
 #include "util/log.hpp"
+#include "verify/model_rules.hpp"
 
 namespace tevot::serve {
 
-ModelRegistry::ModelRegistry(std::string model_dir)
-    : model_dir_(std::move(model_dir)) {}
+ModelRegistry::ModelRegistry(std::string model_dir, bool strict_verify)
+    : model_dir_(std::move(model_dir)), strict_verify_(strict_verify) {}
 
 util::Status ModelRegistry::reload(util::FaultInjector* faults) {
   const std::lock_guard<std::mutex> lock(reload_mutex_);
@@ -30,6 +31,15 @@ util::Status ModelRegistry::reload(util::FaultInjector* faults) {
         return util::Status::invalidArgument("model " + path +
                                              " failed validation: " +
                                              valid.message);
+      }
+      if (strict_verify_) {
+        const util::Status certified =
+            verify::certifyModelForServing(model);
+        if (!certified.ok()) {
+          return util::Status::invalidArgument(
+              "model " + path + " failed strict verification: " +
+              certified.message);
+        }
       }
       candidate->models.emplace(name, std::move(model));
     }

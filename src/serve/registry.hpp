@@ -45,7 +45,13 @@ struct ModelSet {
 
 class ModelRegistry {
  public:
-  explicit ModelRegistry(std::string model_dir);
+  /// `strict_verify` additionally gates every candidate model through
+  /// verify::certifyModelForServing — interval certification over the
+  /// whole operating box, not just point canaries — so a model whose
+  /// guaranteed delay bound is broken (negative or non-finite anywhere
+  /// in the box) is refused at reload while the previous set keeps
+  /// serving.
+  explicit ModelRegistry(std::string model_dir, bool strict_verify = false);
 
   /// Initial load; the server refuses to start when this fails.
   util::Status load() { return reload(nullptr); }
@@ -70,6 +76,7 @@ class ModelRegistry {
 
  private:
   std::string model_dir_;
+  bool strict_verify_ = false;
   std::mutex reload_mutex_;  ///< serializes concurrent reload()s
   mutable std::mutex current_mutex_;  ///< guards current_
   std::shared_ptr<const ModelSet> current_;

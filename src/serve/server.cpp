@@ -34,8 +34,9 @@ bool sendAll(int fd, const char* data, std::size_t len) {
 
 }  // namespace
 
-Server::Server(ServerOptions options) : options_(std::move(options)),
-                                        registry_(options_.model_dir) {
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.model_dir, options_.strict_verify) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.max_connections == 0) options_.max_connections = 1;

@@ -61,6 +61,11 @@ struct ServerOptions {
   std::size_t max_connections = 64;
   /// Applied when a request carries no deadline; 0 = none.
   double default_deadline_ms = 0.0;
+  /// Gate loads/reloads through interval certification
+  /// (verify::certifyModelForServing) on top of the point-canary
+  /// validation; an uncertifiable model is refused and the previous
+  /// set keeps serving.
+  bool strict_verify = false;
   /// Budget for drainAndStop() to complete queued work before
   /// shedding the remainder.
   double drain_deadline_ms = 2000.0;

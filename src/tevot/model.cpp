@@ -1,5 +1,7 @@
 #include "tevot/model.hpp"
 
+#include <unistd.h>
+
 #include <array>
 #include <cerrno>
 #include <cmath>
@@ -7,6 +9,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 
 #include "ml/serialize.hpp"
 #include "tevot/operating_grid.hpp"
@@ -51,10 +54,29 @@ void TevotModel::train(std::span<const dta::DtaTrace> traces,
   compileFlat();
 }
 
+namespace {
+
+/// Non-finite V/T would poison the feature row (the flat batch kernel
+/// requires finite features to match the scalar walk); reject with the
+/// taxonomy code the sweep/serve layers classify on.
+void requireFiniteCorner(const liberty::Corner& corner) {
+  if (std::isfinite(corner.voltage) && std::isfinite(corner.temperature)) {
+    return;
+  }
+  char msg[96];
+  std::snprintf(msg, sizeof(msg),
+                "corner is not finite: V=%g, T=%g", corner.voltage,
+                corner.temperature);
+  throw util::StatusError(util::Status::invalidArgument(msg));
+}
+
+}  // namespace
+
 double TevotModel::predictDelay(std::uint32_t a, std::uint32_t b,
                                 std::uint32_t prev_a, std::uint32_t prev_b,
                                 const liberty::Corner& corner) const {
   if (!trained()) throw std::logic_error("TevotModel: not trained");
+  requireFiniteCorner(corner);
   // Stack feature buffer, not a member scratch vector: prediction must
   // stay safe under concurrent serve workers sharing one model.
   std::array<float, FeatureEncoder::kMaxFeatures> features;
@@ -75,6 +97,7 @@ void TevotModel::predictDelayBatch(std::span<const DelayQuery> queries,
   std::vector<float> rows(queries.size() * cols);
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const DelayQuery& q = queries[i];
+    requireFiniteCorner(q.corner);
     encoder_.encode(q.a, q.b, q.prev_a, q.prev_b, q.corner,
                     std::span<float>(rows.data() + i * cols, cols));
   }
@@ -144,7 +167,11 @@ void TevotModel::save(const std::string& path,
   // writer's pattern): a full disk or dead fd surfaces as a typed
   // error and the destination keeps its previous contents — readers
   // never observe a truncated model.
-  const std::string tmp_path = path + ".tmp";
+  // The temp name is per-process: concurrent saves to one destination
+  // must not steal each other's temp file (each rename then atomically
+  // installs a complete model, last writer wins).
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(::getpid());
   if (faults != nullptr && faults->shouldFail("io.open", path)) {
     throw util::StatusError(util::Status::ioError(
         "TevotModel::save " + tmp_path + ": injected io.open fault"));

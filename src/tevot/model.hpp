@@ -70,7 +70,10 @@ class TevotModel {
 
   /// Predicted dynamic delay [ps] for one input transition at a
   /// corner. Thread-safe: concurrent callers on one model are fine
-  /// (the serving layer fans prediction out across workers).
+  /// (the serving layer fans prediction out across workers). Throws
+  /// util::StatusError (kInvalidArgument) on a NaN/inf corner — the
+  /// flat engine's finite-features precondition is enforced here, at
+  /// the boundary.
   double predictDelay(std::uint32_t a, std::uint32_t b,
                       std::uint32_t prev_a, std::uint32_t prev_b,
                       const liberty::Corner& corner) const;
@@ -78,7 +81,8 @@ class TevotModel {
   /// Batched prediction through the flat engine: out[i] receives the
   /// delay for queries[i], bit-identical to predictDelay on the same
   /// operands. Thread-safe like predictDelay. Throws
-  /// std::invalid_argument when the spans disagree in length.
+  /// std::invalid_argument when the spans disagree in length and
+  /// util::StatusError (kInvalidArgument) on a NaN/inf query corner.
   void predictDelayBatch(std::span<const DelayQuery> queries,
                          std::span<double> out) const;
 

@@ -1,0 +1,55 @@
+// Feature hyper-boxes for interval analysis over compiled forests.
+//
+// A Box is an axis-aligned product of closed float intervals, one per
+// feature dimension — the abstract domain the verify engine propagates
+// through a FlatForest. Intervals are closed on both ends because the
+// forest's split predicate is `x > threshold` on float features: the
+// left branch keeps [lo, min(hi, thr)] and the right branch keeps
+// [nextafter(thr, +inf), hi], so every refined box is again closed and
+// non-empty exactly when the branch is reachable. No epsilon ever
+// enters the analysis.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tevot::verify {
+
+/// Closed float interval [lo, hi]; empty when lo > hi.
+struct Interval {
+  float lo = 0.0f;
+  float hi = 0.0f;
+
+  bool contains(float x) const { return x >= lo && x <= hi; }
+  bool empty() const { return lo > hi; }
+  bool isPoint() const { return lo == hi; }
+};
+
+/// Axis-aligned feature hyper-box: one closed interval per dimension.
+struct Box {
+  std::vector<Interval> dims;
+
+  Box() = default;
+  explicit Box(std::vector<Interval> d) : dims(std::move(d)) {}
+
+  /// n dimensions, all set to `fill`.
+  static Box uniform(std::size_t n, Interval fill) {
+    return Box(std::vector<Interval>(n, fill));
+  }
+
+  std::size_t size() const { return dims.size(); }
+  Interval& operator[](std::size_t i) { return dims[i]; }
+  const Interval& operator[](std::size_t i) const { return dims[i]; }
+
+  /// Every dimension contains the corresponding coordinate.
+  bool contains(const std::vector<float>& point) const {
+    if (point.size() != dims.size()) return false;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (!dims[i].contains(point[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace tevot::verify

@@ -1,0 +1,165 @@
+#include "verify/certify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace tevot::verify {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Bisects `box` at (feature, threshold), pushing both halves. The
+/// split must straddle the box, so neither half is empty and the
+/// straddle it came from is resolved in both.
+void pushHalves(std::vector<Box>& stack, const Box& box,
+                const SplitPoint& split) {
+  const auto f = static_cast<std::size_t>(split.feature);
+  Box right = box;
+  right[f].lo = std::max(box[f].lo, std::nextafter(split.threshold, kInf));
+  Box left = box;
+  left[f].hi = std::min(box[f].hi, split.threshold);
+  stack.push_back(std::move(right));
+  stack.push_back(std::move(left));  // popped first: left-to-right order
+}
+
+}  // namespace
+
+const char* verdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kCertified:
+      return "certified";
+    case Verdict::kViolated:
+      return "violated";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+UpperBoundResult certifyUpperBound(const ml::FlatForest& forest,
+                                   const Box& box, float limit,
+                                   const CertifyOptions& opts) {
+  UpperBoundResult out;
+  out.global = forestBounds(forest, box);
+  ++out.box_evals;
+  if (out.global.hi <= limit) {
+    out.verdict = Verdict::kCertified;
+    return out;
+  }
+  std::vector<Box> stack;
+  stack.push_back(box);
+  bool reuse_global = true;  // the root box's bounds are already known
+  while (!stack.empty()) {
+    Box b = std::move(stack.back());
+    stack.pop_back();
+    ForestBounds fb;
+    if (reuse_global) {
+      fb = out.global;
+      reuse_global = false;
+    } else {
+      fb = forestBounds(forest, b);
+      ++out.box_evals;
+    }
+    if (fb.hi <= limit) continue;
+    if (fb.lo > limit) {
+      out.verdict = Verdict::kViolated;
+      out.counterexample = BoxBounds{std::move(b), fb};
+      return out;
+    }
+    if (out.box_evals >= opts.max_box_evals) {
+      out.verdict = Verdict::kUnknown;
+      return out;
+    }
+    const SplitPoint split = findStraddlingSplit(forest, b);
+    if (split.feature < 0) {
+      // Fully resolved boxes have lo == hi, decided above; defensive.
+      out.verdict = Verdict::kUnknown;
+      return out;
+    }
+    pushHalves(stack, b, split);
+  }
+  out.verdict = Verdict::kCertified;
+  return out;
+}
+
+MonotoneResult certifyMonotone(const ml::FlatForest& forest, const Box& box,
+                               std::int32_t feature, Direction direction,
+                               const CertifyOptions& opts) {
+  if (feature < 0 || static_cast<std::size_t>(feature) >= box.size()) {
+    throw std::invalid_argument(
+        "certifyMonotone: feature index outside the box");
+  }
+  MonotoneResult out;
+  const Interval range = box[static_cast<std::size_t>(feature)];
+
+  // Cut the feature range into cells at the forest's own thresholds;
+  // inside a cell no split on the feature can distinguish two values,
+  // so predict is constant in the feature there.
+  std::vector<Interval> cells;
+  float lo = range.lo;
+  for (const float thr : featureThresholds(forest, feature)) {
+    if (thr < lo || thr >= range.hi) continue;
+    cells.push_back(Interval{lo, thr});
+    lo = std::nextafter(thr, kInf);
+  }
+  cells.push_back(Interval{lo, range.hi});
+  out.cells = cells.size();
+  if (cells.size() < 2) {
+    out.verdict = Verdict::kCertified;
+    return out;
+  }
+
+  const auto f = static_cast<std::size_t>(feature);
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    std::vector<Box> stack;
+    stack.push_back(box);
+    while (!stack.empty()) {
+      Box b = std::move(stack.back());
+      stack.pop_back();
+      Box b_low = b;
+      b_low[f] = cells[i];
+      Box b_high = b;
+      b_high[f] = cells[i + 1];
+      const ForestBounds low = forestBounds(forest, b_low);
+      const ForestBounds high = forestBounds(forest, b_high);
+      out.box_evals += 2;
+      const bool ordered = direction == Direction::kNonIncreasing
+                               ? low.lo >= high.hi
+                               : high.lo >= low.hi;
+      if (ordered) continue;
+      const bool violated = direction == Direction::kNonIncreasing
+                                ? low.hi < high.lo
+                                : high.hi < low.lo;
+      if (violated) {
+        out.verdict = Verdict::kViolated;
+        out.counterexample = MonotoneCounterexample{
+            std::move(b), cells[i], cells[i + 1], low, high};
+        return out;
+      }
+      if (out.box_evals >= opts.max_box_evals) {
+        out.verdict = Verdict::kUnknown;
+        return out;
+      }
+      // Refine any other dimension; straddles on the tested feature
+      // cannot exist inside a cell by construction.
+      SplitPoint split = findStraddlingSplit(forest, b_low, feature);
+      if (split.feature < 0) split = findStraddlingSplit(forest, b_high, feature);
+      if (split.feature < 0) {
+        // Both cells fully resolved => lo == hi on each, so the pair
+        // was decided above; defensive.
+        out.verdict = Verdict::kUnknown;
+        return out;
+      }
+      pushHalves(stack, b, split);
+    }
+  }
+  out.verdict = Verdict::kCertified;
+  return out;
+}
+
+}  // namespace tevot::verify

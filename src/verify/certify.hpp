@@ -1,0 +1,101 @@
+// Property certification by recursive box refinement.
+//
+// Both certifiers share one loop shape: evaluate the guaranteed
+// forest interval over a box; if the bound decides the property,
+// done; otherwise bisect the box at the root-most straddling split
+// and recurse. Because each bisection resolves at least one straddling
+// split and refinement only shrinks boxes, the loop terminates: a box
+// with no straddling split resolves every tree to a single leaf, where
+// lo == hi and the property is decided exactly. The budget caps work
+// on adversarial forests — exhausting it yields kUnknown, never a
+// wrong verdict.
+//
+// Verdicts are one-sided by construction:
+//   kCertified  — the property holds for EVERY point of the box.
+//   kViolated   — a counterexample box is returned on which EVERY
+//                 point violates the property (sampling anywhere in it
+//                 reproduces a concrete violation).
+//   kUnknown    — refinement budget exhausted before a decision.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "ml/flat_forest.hpp"
+#include "verify/box.hpp"
+#include "verify/interval_engine.hpp"
+
+namespace tevot::verify {
+
+struct CertifyOptions {
+  /// Maximum forestBounds evaluations before giving up with kUnknown.
+  std::size_t max_box_evals = 4096;
+};
+
+enum class Verdict { kCertified, kViolated, kUnknown };
+
+/// "certified" / "violated" / "unknown".
+const char* verdictName(Verdict verdict);
+
+/// A box together with its guaranteed forest interval.
+struct BoxBounds {
+  Box box;
+  ForestBounds bounds;
+};
+
+struct UpperBoundResult {
+  Verdict verdict = Verdict::kUnknown;
+  /// Guaranteed interval over the *initial* box (always filled).
+  ForestBounds global;
+  /// kViolated only: predict(x) > limit for every x in this box.
+  std::optional<BoxBounds> counterexample;
+  std::size_t box_evals = 0;
+};
+
+/// Certifies predict(x) <= limit for every x in `box`, or produces a
+/// sub-box on which every point exceeds the limit.
+UpperBoundResult certifyUpperBound(const ml::FlatForest& forest,
+                                   const Box& box, float limit,
+                                   const CertifyOptions& opts = {});
+
+enum class Direction {
+  kNonIncreasing,  ///< larger feature value must not raise the output
+  kNonDecreasing,  ///< larger feature value must not lower the output
+};
+
+/// Monotonicity counterexample: for every x in `box` (read dimension
+/// `feature` from the cells, not from the box), every v in low_cell
+/// and every v' in high_cell, the pair (x@feature=v, x@feature=v')
+/// violates the direction — low/high bounds are disjoint the wrong
+/// way around.
+struct MonotoneCounterexample {
+  Box box;
+  Interval low_cell;
+  Interval high_cell;
+  ForestBounds low_bounds;
+  ForestBounds high_bounds;
+};
+
+struct MonotoneResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::optional<MonotoneCounterexample> counterexample;
+  std::size_t box_evals = 0;
+  /// Feature cells delimited by the forest's own thresholds on the
+  /// tested feature within the box (1 == forest constant in it).
+  std::size_t cells = 0;
+};
+
+/// Certifies that predict is monotone in `feature` (per `direction`)
+/// over the box: for every x and every v < v' in the box's feature
+/// range, the outputs are ordered accordingly. The feature range is
+/// cut into cells at the forest's own thresholds (predict is constant
+/// in the feature inside a cell), adjacent cells are compared, and
+/// the remaining dimensions are refined until each comparison is
+/// decided. Adjacent-cell ordering extends to all pairs pointwise by
+/// transitivity.
+MonotoneResult certifyMonotone(const ml::FlatForest& forest, const Box& box,
+                               std::int32_t feature, Direction direction,
+                               const CertifyOptions& opts = {});
+
+}  // namespace tevot::verify

@@ -1,0 +1,159 @@
+#include "verify/interval_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace tevot::verify {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Depth-first walk of one tree's reachable region under `box`. The
+/// box is refined in place along the path and restored on the way
+/// back, so only the dimensions a path actually tests are touched.
+/// `on_split(node, depth, left_reachable, right_reachable)` fires at
+/// every reachable internal node, `on_leaf(node)` at every reachable
+/// leaf.
+template <typename LeafFn, typename SplitFn>
+void walk(std::span<const ml::FlatForest::Node> nodes, std::int32_t node,
+          int depth, Box& box, LeafFn&& on_leaf, SplitFn&& on_split) {
+  const ml::FlatForest::Node& n = nodes[static_cast<std::size_t>(node)];
+  if (n.feature < 0) {
+    on_leaf(node);
+    return;
+  }
+  const auto f = static_cast<std::size_t>(n.feature);
+  if (f >= box.size()) {
+    throw std::invalid_argument(
+        "verify: tree splits on feature " + std::to_string(n.feature) +
+        " but the box has only " + std::to_string(box.size()) +
+        " dimensions");
+  }
+  const Interval saved = box[f];
+  if (saved.empty()) {
+    throw std::invalid_argument("verify: box is empty in dimension " +
+                                std::to_string(n.feature));
+  }
+  // Descent is next = left + (x > threshold): left keeps x <= thr,
+  // right keeps x > thr (the next float up, since features are float).
+  const bool left_reachable = saved.lo <= n.threshold;
+  const bool right_reachable = saved.hi > n.threshold;
+  on_split(node, depth, left_reachable, right_reachable);
+  if (left_reachable) {
+    box[f] = Interval{saved.lo, std::min(saved.hi, n.threshold)};
+    walk(nodes, n.left, depth + 1, box, on_leaf, on_split);
+    box[f] = saved;
+  }
+  if (right_reachable) {
+    box[f] =
+        Interval{std::max(saved.lo, std::nextafter(n.threshold, kInf)),
+                 saved.hi};
+    walk(nodes, n.left + 1, depth + 1, box, on_leaf, on_split);
+    box[f] = saved;
+  }
+}
+
+TreeBounds treeBoundsInPlace(const ml::FlatForest& forest, std::size_t tree,
+                             Box& box) {
+  TreeBounds out{kInf, -kInf, 0};
+  const std::span<const float> values = forest.leafValues();
+  walk(
+      forest.nodes(), forest.roots()[tree], 0, box,
+      [&](std::int32_t leaf) {
+        const float v = values[static_cast<std::size_t>(leaf)];
+        out.lo = std::min(out.lo, v);
+        out.hi = std::max(out.hi, v);
+        ++out.leaves;
+      },
+      [](std::int32_t, int, bool, bool) {});
+  return out;
+}
+
+}  // namespace
+
+TreeBounds treeBounds(const ml::FlatForest& forest, std::size_t tree,
+                      const Box& box) {
+  Box scratch = box;
+  return treeBoundsInPlace(forest, tree, scratch);
+}
+
+ForestBounds forestBounds(const ml::FlatForest& forest, const Box& box) {
+  if (!forest.compiled()) {
+    throw std::invalid_argument("verify: forest is not compiled");
+  }
+  Box scratch = box;
+  // Mirror RandomForestRegressor::predict exactly: double accumulator,
+  // per-tree float values added in tree order, one divide, float cast.
+  double lo_sum = 0.0;
+  double hi_sum = 0.0;
+  std::size_t leaves = 0;
+  for (std::size_t t = 0; t < forest.treeCount(); ++t) {
+    const TreeBounds tb = treeBoundsInPlace(forest, t, scratch);
+    lo_sum += tb.lo;
+    hi_sum += tb.hi;
+    leaves += tb.leaves;
+  }
+  const auto n = static_cast<double>(forest.treeCount());
+  ForestBounds out;
+  out.lo = static_cast<float>(lo_sum / n);
+  out.hi = static_cast<float>(hi_sum / n);
+  out.reachable_leaves = leaves;
+  return out;
+}
+
+SplitPoint findStraddlingSplit(const ml::FlatForest& forest, const Box& box,
+                               std::int32_t skip_feature) {
+  Box scratch = box;
+  SplitPoint best;
+  const std::span<const ml::FlatForest::Node> nodes = forest.nodes();
+  for (std::size_t t = 0; t < forest.treeCount(); ++t) {
+    walk(
+        nodes, forest.roots()[t], 0, scratch, [](std::int32_t) {},
+        [&](std::int32_t node, int depth, bool left_ok, bool right_ok) {
+          if (!left_ok || !right_ok) return;
+          const ml::FlatForest::Node& n =
+              nodes[static_cast<std::size_t>(node)];
+          if (n.feature == skip_feature) return;
+          if (best.feature < 0 || depth < best.depth) {
+            best = SplitPoint{n.feature, n.threshold, depth};
+          }
+        });
+  }
+  return best;
+}
+
+std::vector<DeadBranch> deadBranches(const ml::FlatForest& forest,
+                                     const Box& box) {
+  Box scratch = box;
+  std::vector<DeadBranch> out;
+  const std::span<const ml::FlatForest::Node> nodes = forest.nodes();
+  for (std::size_t t = 0; t < forest.treeCount(); ++t) {
+    walk(
+        nodes, forest.roots()[t], 0, scratch, [](std::int32_t) {},
+        [&](std::int32_t node, int, bool left_ok, bool right_ok) {
+          if (left_ok && right_ok) return;
+          const ml::FlatForest::Node& n =
+              nodes[static_cast<std::size_t>(node)];
+          out.push_back(DeadBranch{t, node, n.feature, n.threshold,
+                                   /*left_dead=*/!left_ok});
+        });
+  }
+  return out;
+}
+
+std::vector<float> featureThresholds(const ml::FlatForest& forest,
+                                     std::int32_t feature) {
+  std::vector<float> out;
+  for (const ml::FlatForest::Node& n : forest.nodes()) {
+    if (n.feature == feature) out.push_back(n.threshold);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace tevot::verify

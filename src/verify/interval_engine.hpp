@@ -1,0 +1,93 @@
+// Exact box propagation over a compiled FlatForest.
+//
+// Per tree, the engine enumerates every leaf reachable under a feature
+// box by descending with the box refined along the path (left branch:
+// hi clamped to the threshold; right branch: lo raised to the next
+// float above it). A leaf is reached iff its refined box is non-empty,
+// and every point of that refined box lands on that leaf under the
+// real descent — so the per-tree min/max over reachable leaves is
+// *attained*, not merely conservative.
+//
+// The forest-level bound then replicates the scalar prediction's
+// floating-point sequence operation for operation: a double
+// accumulator summing per-tree float extrema in tree order, divided by
+// the tree count, truncated to float. IEEE addition, division and the
+// double→float cast are all monotone, so for every x in the box
+//     lo <= RandomForestRegressor::predict(x) <= hi
+// holds bit-exactly, with no tolerance anywhere in the chain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/flat_forest.hpp"
+#include "verify/box.hpp"
+
+namespace tevot::verify {
+
+/// Min/max leaf value attained by one tree over a box, and how many
+/// leaves stay reachable. A non-empty box always reaches >= 1 leaf.
+struct TreeBounds {
+  float lo = 0.0f;
+  float hi = 0.0f;
+  std::size_t leaves = 0;
+};
+
+/// Guaranteed forest-output interval over a box: for every x in the
+/// box, lo <= predict(x) <= hi (float-exact, see file comment).
+/// `reachable_leaves` sums TreeBounds::leaves over the trees; when it
+/// equals the tree count every tree is resolved to a single leaf and
+/// lo == hi is the exact constant output on the whole box.
+struct ForestBounds {
+  float lo = 0.0f;
+  float hi = 0.0f;
+  std::size_t reachable_leaves = 0;
+};
+
+/// Bounds for one tree. Throws std::invalid_argument when a reachable
+/// split references a feature outside the box's dimensionality or when
+/// the box is empty in a dimension the descent needs.
+TreeBounds treeBounds(const ml::FlatForest& forest, std::size_t tree,
+                      const Box& box);
+
+/// Bounds for the whole forest (see ForestBounds).
+ForestBounds forestBounds(const ml::FlatForest& forest, const Box& box);
+
+/// A split node both of whose branches stay reachable under a box —
+/// the refinement point a certifier bisects on. feature == -1 means no
+/// reachable split straddles the box: every tree is fully resolved.
+struct SplitPoint {
+  std::int32_t feature = -1;
+  float threshold = 0.0f;
+  int depth = 0;  ///< edges from its root; root-most straddle wins
+};
+
+/// Root-most straddling split over all trees (ties: first in node
+/// order). `skip_feature` (when >= 0) ignores straddles on that
+/// feature — monotonicity certification refines every dimension except
+/// the one under test.
+SplitPoint findStraddlingSplit(const ml::FlatForest& forest, const Box& box,
+                               std::int32_t skip_feature = -1);
+
+/// One split branch that no point of the box can take.
+struct DeadBranch {
+  std::size_t tree = 0;
+  std::int32_t node = 0;
+  std::int32_t feature = 0;
+  float threshold = 0.0f;
+  bool left_dead = false;  ///< false: the right branch is dead
+};
+
+/// Every reachable split with an unreachable branch, in deterministic
+/// (tree, depth-first) order. A branch dead under the declared feature
+/// domain can never fire in production — MV001's evidence.
+std::vector<DeadBranch> deadBranches(const ml::FlatForest& forest,
+                                     const Box& box);
+
+/// Sorted, deduplicated thresholds the forest splits `feature` on
+/// (over all trees). Empty when the forest never tests the feature.
+std::vector<float> featureThresholds(const ml::FlatForest& forest,
+                                     std::int32_t feature);
+
+}  // namespace tevot::verify

@@ -1,0 +1,112 @@
+// Model-verification rules: static analysis over a trained TevotModel.
+//
+// The MV rule family extends PR 4's lint architecture from netlist
+// artifacts to trained models: each rule runs the interval engine over
+// the model's *declared feature domain* (operand/toggle bits in [0,1],
+// V and T spanning the operating grid) and reports lint::Findings, so
+// waiver files, JSON reports and the CI verdict work unchanged.
+//
+// Catalog (details in DESIGN.md §5h):
+//   MV001  dead split branches — unreachable within the feature domain
+//   MV002  split thresholds outside the declared feature domain
+//   MV003  certified V/T monotonicity (non-increasing in V,
+//          non-decreasing in T) or a concrete counterexample box
+//   MV004  delay-bound certification: guaranteed bound finite and
+//          non-negative; with a clock target, max predicted delay over
+//          the whole operating box <= tclk, producing the safe-tclk
+//          certificate JSON
+//   MV005  training-grid coverage of the Liberty corner set (corners
+//          outside the forest's split hull are extrapolated)
+//
+// Waiver locations use "tree:<t>/node:<n>" for per-node findings,
+// "feature:<name>" for per-axis findings (MV003/MV005) and "-" for
+// model-wide findings (MV004).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liberty/corner.hpp"
+#include "lint/finding.hpp"
+#include "lint/waiver.hpp"
+#include "tevot/model.hpp"
+#include "tevot/operating_grid.hpp"
+#include "util/status.hpp"
+#include "verify/box.hpp"
+#include "verify/certify.hpp"
+
+namespace tevot::verify {
+
+/// Declared feature domain of a model with `encoder`'s layout: every
+/// operand/toggle bit spans [0,1] and the trailing V/T dimensions span
+/// the operating grid.
+Box featureDomain(const core::FeatureEncoder& encoder,
+                  const core::OperatingGrid& grid);
+
+/// Inputs of one model-verification run. Only `model` is mandatory.
+struct ModelVerifyContext {
+  const core::TevotModel* model = nullptr;
+  /// Operating box for MV001/MV003/MV004 (V/T dimensions).
+  core::OperatingGrid grid = core::OperatingGrid::paper();
+  /// Liberty corner set MV005 checks for coverage; empty means the
+  /// full grid's corners.
+  std::vector<liberty::Corner> corners;
+  /// Clock budget [ps] MV004 certifies against; 0 disables the budget
+  /// part (the bound sanity checks always run).
+  double tclk_ps = 0.0;
+  /// Refinement budget (forest-interval evaluations) per certification.
+  std::size_t refine_budget = 4096;
+  /// Provenance string for the report and certificate.
+  std::string model_path = "model";
+};
+
+/// Machine-readable safe-tclk certificate (MV004). Schema documented
+/// in DESIGN.md §5h; `counterexample_json` is an embedded JSON object
+/// ("" when certified) naming the violating box per feature.
+struct SafeTclkCertificate {
+  std::string model_path;
+  bool history = false;
+  std::size_t feature_count = 0;
+  std::size_t tree_count = 0;
+  double v_lo = 0.0, v_hi = 0.0;
+  double t_lo = 0.0, t_hi = 0.0;
+  double tclk_ps = 0.0;
+  bool certified = false;
+  float bound_lo_ps = 0.0f;  ///< guaranteed min over the operating box
+  float bound_hi_ps = 0.0f;  ///< guaranteed max over the operating box
+  std::size_t box_evals = 0;
+  std::string counterexample_json;
+
+  std::string toJson() const;
+};
+
+struct ModelVerifyResult {
+  lint::LintReport report;
+  /// Filled when ctx.tclk_ps > 0 and MV004 ran to a verdict.
+  bool has_certificate = false;
+  SafeTclkCertificate certificate;
+};
+
+/// Severity of a built-in MV rule; throws std::invalid_argument on an
+/// unknown ID. Exposed for docs and the CLI rule table.
+lint::Severity modelRuleSeverity(std::string_view id);
+
+/// The MV rule IDs in catalog order.
+std::vector<std::string> modelRuleIds();
+
+/// Runs the MV catalog over ctx.model, applies `waivers` (when given)
+/// and appends a WV001 finding per unused waiver, mirroring
+/// lint::runLint. Throws std::invalid_argument when ctx.model is null
+/// or untrained.
+ModelVerifyResult runModelVerify(const ModelVerifyContext& ctx,
+                                 lint::WaiverSet* waivers = nullptr);
+
+/// Serving-admission gate (--strict-verify): runs the MV catalog with
+/// a reduced refinement budget and no clock target; any error-severity
+/// finding rejects the model with kInvalidArgument. Warnings (e.g. an
+/// uncertified monotonicity) do not block serving.
+util::Status certifyModelForServing(const core::TevotModel& model);
+
+}  // namespace tevot::verify

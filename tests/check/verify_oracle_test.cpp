@@ -1,0 +1,33 @@
+// Interval-certification soundness oracle as a ctest suite. The
+// 25-seed containment run covers 25 * kVerifyBoxesPerSeed = 100
+// independent (forest, box) cases of kVerifySamplesPerBox = 1000
+// samples each — the acceptance floor for the verify engine — and the
+// certification run checks that violated verdicts reproduce from
+// sampling and that constructed-monotone forests certify.
+#include "check/verify_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/property.hpp"
+
+namespace tevot::check {
+namespace {
+
+TEST(VerifyOracleTest, BoundsContainSampledPredictionsOver100Boxes) {
+  static_assert(25 * kVerifyBoxesPerSeed >= 100,
+                "seed count must cover >= 100 (forest, box) cases");
+  static_assert(kVerifySamplesPerBox >= 1000,
+                "each case must sample >= 1000 points");
+  const PropertyResult result =
+      forAllSeeds(25, checkVerifyBoundsContainment);
+  EXPECT_TRUE(result.ok) << result.report("verify/bounds-containment");
+}
+
+TEST(VerifyOracleTest, VerdictsAndCounterexamplesAreSound) {
+  const PropertyResult result =
+      forAllSeeds(25, checkVerifyCertification);
+  EXPECT_TRUE(result.ok) << result.report("verify/certification");
+}
+
+}  // namespace
+}  // namespace tevot::check

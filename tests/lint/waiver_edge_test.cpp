@@ -1,0 +1,86 @@
+// Waiver-file edge cases: empty and comment-only files, CRLF line
+// endings, duplicate waiver lines (each tracked independently for
+// WV001), and waivers against the model-verification (MV) rule family
+// — the waiver machinery is shared between lint and verify-model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "lint/waiver.hpp"
+
+namespace tevot::lint {
+namespace {
+
+TEST(WaiverEdgeTest, EmptyFileParsesToNoWaivers) {
+  WaiverSet set = WaiverSet::parseString("");
+  EXPECT_TRUE(set.waivers().empty());
+  EXPECT_TRUE(set.unused().empty());
+  Finding finding{"NL001", Severity::kWarning, "net:x", "m", false};
+  EXPECT_FALSE(set.matches(finding));
+}
+
+TEST(WaiverEdgeTest, CommentAndBlankOnlyFileParsesToNoWaivers) {
+  const WaiverSet set = WaiverSet::parseString(
+      "# a header comment\n"
+      "\n"
+      "   \n"
+      "  # indented comment\n"
+      "#\n");
+  EXPECT_TRUE(set.waivers().empty());
+}
+
+TEST(WaiverEdgeTest, CrlfLineEndingsParse) {
+  WaiverSet set = WaiverSet::parseString(
+      "# written on Windows\r\n"
+      "NL004 gate:sum_3\r\n"
+      "XA003 gate:mul_* # glob\r\n");
+  ASSERT_EQ(set.waivers().size(), 2u);
+  // The pattern must not keep the trailing '\r' — an exact-match
+  // location would never match it.
+  EXPECT_EQ(set.waivers()[0].pattern, "gate:sum_3");
+  Finding finding{"NL004", Severity::kWarning, "gate:sum_3", "m", false};
+  EXPECT_TRUE(set.matches(finding));
+  Finding globbed{"XA003", Severity::kWarning, "gate:mul_7", "m", false};
+  EXPECT_TRUE(set.matches(globbed));
+}
+
+TEST(WaiverEdgeTest, DuplicateLinesAreBothConsumedByOneFinding) {
+  WaiverSet set = WaiverSet::parseString(
+      "NL004 gate:sum_3\n"
+      "NL004 gate:sum_3\n");
+  ASSERT_EQ(set.waivers().size(), 2u);
+  Finding finding{"NL004", Severity::kWarning, "gate:sum_3", "m", false};
+  EXPECT_TRUE(set.matches(finding));
+  // matches() marks EVERY matching waiver used, so a duplicated line
+  // does not rot into a spurious WV001 — but a duplicate that matches
+  // nothing still does.
+  EXPECT_TRUE(set.unused().empty());
+
+  WaiverSet stale = WaiverSet::parseString(
+      "NL004 gate:sum_3\n"
+      "NL004 gate:other\n");
+  EXPECT_TRUE(stale.matches(finding));
+  const std::vector<Waiver> unused = stale.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].line, 2);
+}
+
+TEST(WaiverEdgeTest, MvRuleFindingsAreWaivable) {
+  // Waivers are rule-ID + location strings; MV findings use the same
+  // Finding type, so lint waiver files apply unchanged.
+  WaiverSet set = WaiverSet::parseString(
+      "MV003 feature:V\n"
+      "MV001 tree:*\n");
+  Finding mv3{"MV003", Severity::kWarning, "feature:V", "m", false};
+  Finding mv1{"MV001", Severity::kWarning, "tree:4/node:9", "m", false};
+  Finding mv4{"MV004", Severity::kError, "-", "m", false};
+  EXPECT_TRUE(set.matches(mv3));
+  EXPECT_TRUE(set.matches(mv1));
+  EXPECT_FALSE(set.matches(mv4));
+  EXPECT_TRUE(set.unused().empty());
+}
+
+}  // namespace
+}  // namespace tevot::lint

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/status.hpp"
 
 namespace tevot::ml {
 namespace {
@@ -44,6 +48,33 @@ TEST(DatasetTest, AppendAndSubset) {
   EXPECT_EQ(sub.size(), 3u);
   EXPECT_EQ(sub.x.at(1, 0), 2.0f);
   EXPECT_EQ(sub.y[2], 1.0f);
+}
+
+TEST(DatasetTest, RejectsNonFiniteFeaturesAndLabels) {
+  Dataset data;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // A NaN row poisons training silently (every tree comparison sends
+  // it one fixed way); the boundary rejects it with a typed status
+  // naming the offending column.
+  const float bad_feature[2] = {1.0f, nan};
+  try {
+    data.append({bad_feature, 2}, 1.0f);
+    FAIL() << "non-finite feature accepted";
+  } catch (const util::StatusError& error) {
+    EXPECT_EQ(error.status().code, util::StatusCode::kInvalidArgument);
+    EXPECT_NE(std::string(error.what()).find("feature 1"),
+              std::string::npos);
+  }
+  const float row[2] = {1.0f, 2.0f};
+  EXPECT_THROW(data.append({row, 2}, inf), util::StatusError);
+  EXPECT_THROW(data.append({row, 2}, -inf), util::StatusError);
+  EXPECT_THROW(data.append({row, 2}, nan), util::StatusError);
+  // Failed appends leave the dataset untouched; a clean row still
+  // goes in.
+  EXPECT_EQ(data.size(), 0u);
+  data.append({row, 2}, 3.0f);
+  EXPECT_EQ(data.size(), 1u);
 }
 
 TEST(DatasetTest, TrainTestSplitPartitions) {

@@ -5,6 +5,7 @@
 // garbage, trailing bytes, and forests inconsistent with the header's
 // encoder width.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -50,6 +51,29 @@ void writeFile(const std::string& path, const std::string& content) {
   os << content;
 }
 
+/// Temp paths carry the pid: ctest runs each test of this suite as its
+/// own process, concurrently under -j, and SetUpTestSuite runs in every
+/// one of them — a shared filename would let one process's teardown
+/// race another's save/load.
+std::string pidScopedPath(const std::string& name) {
+  return ::testing::TempDir() + "/model_io_test." +
+         std::to_string(::getpid()) + "." + name;
+}
+
+/// No `<file>.tmp*` sibling left behind (the atomic-save temp name is
+/// `<path>.tmp.<pid>`).
+bool tempFileLeaked(const std::string& path) {
+  const std::filesystem::path target(path);
+  const std::string prefix = target.filename().string() + ".tmp";
+  for (const auto& entry :
+       std::filesystem::directory_iterator(target.parent_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 util::Status loadStatus(const std::string& path) {
   try {
     TevotModel::load(path);
@@ -63,7 +87,7 @@ class ModelIoTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     model_ = new TevotModel(trainedModel());
-    path_ = ::testing::TempDir() + "/model_io_test.model";
+    path_ = pidScopedPath("suite.model");
     model_->save(path_);
     bytes_ = readFile(path_);
     ASSERT_FALSE(bytes_.empty());
@@ -170,7 +194,7 @@ TEST_F(ModelIoTest, ForestInconsistentWithHeaderRejected) {
 }
 
 TEST_F(ModelIoTest, SaveWriteFaultKeepsPreviousContents) {
-  const std::string path = ::testing::TempDir() + "/atomic.model";
+  const std::string path = pidScopedPath("atomic.model");
   writeFile(path, "previous contents");
   util::FaultInjector faults;
   util::FaultPlan plan;
@@ -181,12 +205,12 @@ TEST_F(ModelIoTest, SaveWriteFaultKeepsPreviousContents) {
   EXPECT_THROW(model_->save(path, &faults), util::StatusError);
   // The destination is untouched and no temp file leaks.
   EXPECT_EQ(readFile(path), "previous contents");
-  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FALSE(tempFileLeaked(path));
   std::remove(path.c_str());
 }
 
 TEST_F(ModelIoTest, SaveOpenFaultIsTypedIoError) {
-  const std::string path = ::testing::TempDir() + "/openfault.model";
+  const std::string path = pidScopedPath("openfault.model");
   util::FaultInjector faults;
   util::FaultPlan plan;
   plan.points = {"io.open"};
@@ -200,7 +224,7 @@ TEST_F(ModelIoTest, SaveOpenFaultIsTypedIoError) {
     EXPECT_EQ(error.status().code, util::StatusCode::kIoError);
   }
   EXPECT_FALSE(std::filesystem::exists(path));
-  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FALSE(tempFileLeaked(path));
 }
 
 TEST_F(ModelIoTest, SaveToUnwritableDirectoryIsTypedIoError) {
@@ -218,11 +242,11 @@ TEST_F(ModelIoTest, SaveToUnwritableDirectoryIsTypedIoError) {
 }
 
 TEST_F(ModelIoTest, SaveOverwritesAtomicallyOnSuccess) {
-  const std::string path = ::testing::TempDir() + "/overwrite.model";
+  const std::string path = pidScopedPath("overwrite.model");
   writeFile(path, "stale");
   model_->save(path);
   EXPECT_EQ(readFile(path), bytes_);
-  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FALSE(tempFileLeaked(path));
   std::remove(path.c_str());
 }
 

@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "tevot/pipeline.hpp"
+#include "util/status.hpp"
 
 namespace tevot::core {
 namespace {
@@ -123,6 +127,41 @@ TEST(ModelTest, UntrainedThrows) {
   EXPECT_THROW(model.save("/tmp/nope.model"), std::logic_error);
   util::Rng rng(1);
   EXPECT_THROW(model.train({}, rng), std::invalid_argument);
+}
+
+TEST(ModelTest, RejectsNonFiniteCorners) {
+  const auto traces = smallTraces(circuits::FuKind::kIntAdd, 100);
+  TevotModel model;
+  util::Rng rng(11);
+  model.train(traces, rng);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const liberty::Corner corner :
+       {liberty::Corner{nan, 25.0}, liberty::Corner{0.9, inf},
+        liberty::Corner{-inf, -inf}}) {
+    try {
+      (void)model.predictDelay(1, 2, 3, 4, corner);
+      FAIL() << "non-finite corner accepted";
+    } catch (const util::StatusError& error) {
+      EXPECT_EQ(error.status().code, util::StatusCode::kInvalidArgument);
+      EXPECT_NE(std::string(error.what()).find("not finite"),
+                std::string::npos);
+    }
+  }
+
+  // The batch path enforces the same precondition per query: one bad
+  // corner rejects the call before any output is written.
+  const std::vector<DelayQuery> queries = {
+      {1, 2, 3, 4, liberty::Corner{0.9, 25.0}},
+      {1, 2, 3, 4, liberty::Corner{0.9, nan}},
+  };
+  std::vector<double> out(queries.size());
+  EXPECT_THROW(model.predictDelayBatch(queries, out), util::StatusError);
+
+  // A finite corner still predicts normally.
+  EXPECT_GT(model.predictDelay(1, 2, 3, 4, liberty::Corner{0.9, 25.0}),
+            0.0);
 }
 
 TEST(ModelTest, SaveLoadRoundTrip) {

@@ -13,6 +13,8 @@
 
 #include <sys/wait.h>
 
+#include "../verify/verify_test_util.hpp"
+
 namespace {
 
 struct RunResult {
@@ -318,6 +320,113 @@ TEST(CliLintTest, JsonReportMatchesGolden) {
       << "missing golden: tests/golden/lint_int_add.json";
   EXPECT_EQ(readFile(out), golden);
   std::filesystem::remove(out);
+}
+
+TEST(CliLintTest, JobsFlagIsBitIdentical) {
+  // Parallel lint must be byte-identical to serial lint — terminal
+  // text and JSON report both.
+  const RunResult serial = runCli("--jobs 1 lint --all --grid 2x2");
+  const RunResult parallel = runCli("--jobs 8 lint --all --grid 2x2");
+  EXPECT_EQ(serial.exit_code, 0) << serial.output;
+  EXPECT_EQ(parallel.exit_code, 0) << parallel.output;
+  EXPECT_EQ(serial.output, parallel.output);
+
+  // The machine-readable report too (written to the same path, so the
+  // "wrote ..." echo is identical as well).
+  const std::string json = testing::TempDir() + "tevot_lint_jobs.json";
+  ASSERT_EQ(
+      runCli("--jobs 1 lint --all --grid 2x2 --json '" + json + "'")
+          .exit_code,
+      0);
+  const std::string serial_json = readFile(json);
+  ASSERT_EQ(
+      runCli("--jobs 8 lint --all --grid 2x2 --json '" + json + "'")
+          .exit_code,
+      0);
+  EXPECT_EQ(readFile(json), serial_json);
+  EXPECT_FALSE(serial_json.empty());
+  std::filesystem::remove(json);
+}
+
+TEST(CliVerifyModelTest, UsageErrors) {
+  EXPECT_EQ(runCli("verify-model").exit_code, 2);
+  EXPECT_EQ(runCli("verify-model m.model --grid nonsense").exit_code, 2);
+  EXPECT_EQ(runCli("verify-model m.model --tclk -5").exit_code, 2);
+  EXPECT_EQ(runCli("verify-model m.model --refine-budget 0").exit_code, 2);
+  const RunResult cert_no_tclk =
+      runCli("verify-model m.model --cert c.json");
+  EXPECT_EQ(cert_no_tclk.exit_code, 2);
+  EXPECT_NE(cert_no_tclk.output.find("--cert requires --tclk"),
+            std::string::npos);
+}
+
+TEST(CliVerifyModelTest, MissingModelIsRuntimeErrorWithPath) {
+  const std::string path = testing::TempDir() + "no_such.model";
+  const RunResult result = runCli("verify-model '" + path + "'");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find(path), std::string::npos) << result.output;
+}
+
+TEST(CliVerifyModelTest, TrainedModelCertifiesWithCertificate) {
+  const std::string model = testing::TempDir() + "cli_verify_int_add.model";
+  const RunResult trained = runCli("train int_add '" + model + "' 20");
+  ASSERT_EQ(trained.exit_code, 0) << trained.output;
+
+  const std::string cert = testing::TempDir() + "cli_verify_cert.json";
+  const std::string report = testing::TempDir() + "cli_verify_report.json";
+  std::filesystem::remove(cert);
+  const RunResult result = runCli(
+      "verify-model '" + model + "' --grid 3x3 --tclk 100000 --cert '" +
+      cert + "' --json '" + report + "'");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("safe-tclk 100000.000 ps: CERTIFIED"),
+            std::string::npos)
+      << result.output;
+  const std::string cert_json = readFile(cert);
+  EXPECT_NE(cert_json.find("tevot-safe-tclk-certificate-v1"),
+            std::string::npos);
+  EXPECT_NE(cert_json.find("\"certified\":true"), std::string::npos);
+  EXPECT_NE(readFile(report).find("\"rules_run\""), std::string::npos);
+  std::filesystem::remove(model);
+  std::filesystem::remove(cert);
+  std::filesystem::remove(report);
+}
+
+TEST(CliVerifyModelTest, CorruptedFixtureExitsCheckFailed) {
+  // The canary-fooling negative-tail fixture: point validation would
+  // serve it, interval verification refuses it with a concrete
+  // finding.
+  const std::string model = testing::TempDir() + "cli_verify_corrupt.model";
+  (void)tevot::verify::modelFromTrees(tevot::verify::negativeTailTrees(),
+                                      model);
+  const RunResult result = runCli("verify-model '" + model + "'");
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("MV004"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("negative"), std::string::npos)
+      << result.output;
+  std::filesystem::remove(model);
+}
+
+TEST(CliVerifyModelTest, TightTclkReportsCounterexample) {
+  // A certifiably-monotone fixture with guaranteed bounds [200,
+  // 253.33] ps: a 220 ps clock target must produce a violated
+  // certificate with a machine-readable counterexample box.
+  const std::string model = testing::TempDir() + "cli_verify_tight.model";
+  (void)tevot::verify::modelFromTrees(tevot::verify::healthyTrees(),
+                                      model);
+  const std::string cert = testing::TempDir() + "cli_tight_cert.json";
+  const RunResult result = runCli("verify-model '" + model +
+                                  "' --tclk 220 --cert '" + cert + "'");
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("safe-tclk 220.000 ps: NOT CERTIFIED"),
+            std::string::npos)
+      << result.output;
+  const std::string cert_json = readFile(cert);
+  EXPECT_NE(cert_json.find("\"certified\":false"), std::string::npos);
+  EXPECT_NE(cert_json.find("\"counterexample\":{"), std::string::npos);
+  std::filesystem::remove(model);
+  std::filesystem::remove(cert);
 }
 
 TEST(CliTest, ForcedCheckFailureExitsWithCheckCode) {

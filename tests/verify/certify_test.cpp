@@ -1,0 +1,132 @@
+// Certifier tests: verdicts on forests with known geometry — upper
+// bounds (certified / all-points-violating counterexample / budget
+// exhaustion) and monotonicity (threshold cells, cross-feature
+// refinement, counterexample cell ordering).
+#include "verify/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/rng.hpp"
+#include "verify/box.hpp"
+#include "verify/interval_engine.hpp"
+#include "verify_test_util.hpp"
+
+namespace tevot::verify {
+namespace {
+
+TEST(CertifyTest, UpperBoundCertifiedAtGlobalMax) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 1.0f, 10.0f, 20.0f)});
+  Box box = Box::uniform(1, Interval{0.0f, 2.0f});
+  const UpperBoundResult res = certifyUpperBound(forest, box, 20.0f);
+  EXPECT_EQ(res.verdict, Verdict::kCertified);
+  EXPECT_EQ(res.global.lo, 10.0f);
+  EXPECT_EQ(res.global.hi, 20.0f);
+  EXPECT_FALSE(res.counterexample.has_value());
+}
+
+TEST(CertifyTest, UpperBoundViolationBoxViolatesEverywhere) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 1.0f, 10.0f, 20.0f)});
+  Box box = Box::uniform(1, Interval{0.0f, 2.0f});
+  const UpperBoundResult res = certifyUpperBound(forest, box, 15.0f);
+  ASSERT_EQ(res.verdict, Verdict::kViolated);
+  ASSERT_TRUE(res.counterexample.has_value());
+  const BoxBounds& cex = *res.counterexample;
+  // The guaranteed MINIMUM over the counterexample box exceeds the
+  // limit, so every point of it violates; here that is the right leaf.
+  EXPECT_GT(cex.bounds.lo, 15.0f);
+  EXPECT_GT(cex.box[0].lo, 1.0f);
+  util::Rng rng(3);
+  std::vector<float> row(1);
+  for (int i = 0; i < 100; ++i) {
+    row[0] = static_cast<float>(
+        rng.nextDouble(cex.box[0].lo, cex.box[0].hi));
+    EXPECT_GT(forest.predict(row), 15.0f);
+  }
+}
+
+TEST(CertifyTest, UpperBoundBudgetExhaustionIsUnknown) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 1.0f, 10.0f, 20.0f)});
+  Box box = Box::uniform(1, Interval{0.0f, 2.0f});
+  CertifyOptions opts;
+  opts.max_box_evals = 1;  // root interval [10,20] is undecided at 15
+  const UpperBoundResult res = certifyUpperBound(forest, box, 15.0f, opts);
+  EXPECT_EQ(res.verdict, Verdict::kUnknown);
+  EXPECT_LE(res.box_evals, 1u);
+}
+
+TEST(CertifyTest, MonotoneCertifiedOnConformingStep) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 1.0f, 30.0f, 20.0f)});
+  Box box = Box::uniform(1, Interval{0.0f, 2.0f});
+  const MonotoneResult res =
+      certifyMonotone(forest, box, 0, Direction::kNonIncreasing);
+  EXPECT_EQ(res.verdict, Verdict::kCertified);
+  EXPECT_EQ(res.cells, 2u);
+  // The same forest read the other way around is a violation.
+  const MonotoneResult flipped =
+      certifyMonotone(forest, box, 0, Direction::kNonDecreasing);
+  EXPECT_EQ(flipped.verdict, Verdict::kViolated);
+}
+
+TEST(CertifyTest, MonotoneViolationOrdersCellsTheWrongWay) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 1.0f, 10.0f, 20.0f)});
+  Box box = Box::uniform(1, Interval{0.0f, 2.0f});
+  const MonotoneResult res =
+      certifyMonotone(forest, box, 0, Direction::kNonIncreasing);
+  ASSERT_EQ(res.verdict, Verdict::kViolated);
+  ASSERT_TRUE(res.counterexample.has_value());
+  const MonotoneCounterexample& cex = *res.counterexample;
+  EXPECT_LT(cex.low_cell.hi, cex.high_cell.lo);
+  // Disjoint the wrong way around: every (v, v') pair violates.
+  EXPECT_LT(cex.low_bounds.hi, cex.high_bounds.lo);
+  EXPECT_EQ(cex.low_bounds.hi, 10.0f);
+  EXPECT_EQ(cex.high_bounds.lo, 20.0f);
+}
+
+TEST(CertifyTest, MonotoneConstantForestCertifiesBothDirections) {
+  const ml::FlatForest forest = compileTrees({leafTree(5.0f)});
+  Box box = Box::uniform(2, Interval{0.0f, 1.0f});
+  for (const Direction dir :
+       {Direction::kNonIncreasing, Direction::kNonDecreasing}) {
+    const MonotoneResult res = certifyMonotone(forest, box, 0, dir);
+    EXPECT_EQ(res.verdict, Verdict::kCertified);
+    EXPECT_EQ(res.cells, 1u);
+  }
+}
+
+TEST(CertifyTest, MonotoneRefinesOtherDimensionsToDecide) {
+  // Tree on feature 0 drops by 10 across its threshold; a second tree
+  // on feature 1 swings by 15, so whole-box cell bounds overlap and
+  // the certifier must refine feature 1 before it can certify.
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 1.0f, 30.0f, 20.0f),
+                    stepTree(1, 1.0f, 0.0f, 15.0f)});
+  Box box = Box::uniform(2, Interval{0.0f, 2.0f});
+  const MonotoneResult res =
+      certifyMonotone(forest, box, 0, Direction::kNonIncreasing);
+  EXPECT_EQ(res.verdict, Verdict::kCertified);
+  EXPECT_GT(res.box_evals, 2u);
+
+  // With no refinement budget the same comparison is undecidable.
+  CertifyOptions tight;
+  tight.max_box_evals = 2;
+  const MonotoneResult unknown = certifyMonotone(
+      forest, box, 0, Direction::kNonIncreasing, tight);
+  EXPECT_EQ(unknown.verdict, Verdict::kUnknown);
+}
+
+TEST(CertifyTest, VerdictNames) {
+  EXPECT_STREQ(verdictName(Verdict::kCertified), "certified");
+  EXPECT_STREQ(verdictName(Verdict::kViolated), "violated");
+  EXPECT_STREQ(verdictName(Verdict::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace tevot::verify

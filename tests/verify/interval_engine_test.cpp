@@ -1,0 +1,212 @@
+// Interval-engine tests: attained per-tree bounds, float-exact forest
+// bounds (point box == scalar predict, bit for bit), straddling-split
+// selection, dead-branch detection and threshold extraction — all on
+// hand-built trees whose exact geometry the assertions can name.
+#include "verify/interval_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+#include "verify/box.hpp"
+#include "verify_test_util.hpp"
+
+namespace tevot::verify {
+namespace {
+
+TEST(IntervalEngineTest, StepTreeBoundsAreAttained) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 1.0f, 10.0f, 20.0f)});
+
+  Box both = Box::uniform(1, Interval{0.0f, 2.0f});
+  const TreeBounds spanning = treeBounds(forest, 0, both);
+  EXPECT_EQ(spanning.lo, 10.0f);
+  EXPECT_EQ(spanning.hi, 20.0f);
+  EXPECT_EQ(spanning.leaves, 2u);
+
+  // x <= 1 goes left, so a box ending exactly at the threshold never
+  // reaches the right leaf.
+  Box left_only = Box::uniform(1, Interval{0.0f, 1.0f});
+  const TreeBounds left = treeBounds(forest, 0, left_only);
+  EXPECT_EQ(left.lo, 10.0f);
+  EXPECT_EQ(left.hi, 10.0f);
+  EXPECT_EQ(left.leaves, 1u);
+
+  // ... and the next float above the threshold only reaches the right.
+  const float above = std::nextafter(1.0f, 2.0f);
+  Box right_only = Box::uniform(1, Interval{above, 2.0f});
+  const TreeBounds right = treeBounds(forest, 0, right_only);
+  EXPECT_EQ(right.lo, 20.0f);
+  EXPECT_EQ(right.hi, 20.0f);
+  EXPECT_EQ(right.leaves, 1u);
+}
+
+TEST(IntervalEngineTest, ForestBoundsAverageInTreeOrder) {
+  const ml::FlatForest forest = compileTrees(
+      {stepTree(0, 1.0f, 10.0f, 20.0f), leafTree(30.0f)});
+  Box box = Box::uniform(1, Interval{0.0f, 2.0f});
+  const ForestBounds bounds = forestBounds(forest, box);
+  EXPECT_EQ(bounds.lo, 20.0f);  // (10 + 30) / 2
+  EXPECT_EQ(bounds.hi, 25.0f);  // (20 + 30) / 2
+  EXPECT_EQ(bounds.reachable_leaves, 3u);
+}
+
+TEST(IntervalEngineTest, PointBoxReproducesScalarPredictBitExactly) {
+  // A fitted forest (arbitrary float leaf values) collapsed onto a
+  // point box must yield lo == hi == predict(x): the engine replicates
+  // the scalar accumulation sequence operation for operation.
+  util::Rng rng(42);
+  ml::Dataset data;
+  std::vector<float> row(4);
+  for (int r = 0; r < 80; ++r) {
+    float sum = 0.0f;
+    for (float& v : row) {
+      v = static_cast<float>(rng.nextDouble(0.0, 4.0));
+      sum += v;
+    }
+    data.append(row, sum * 1.7f);
+  }
+  ml::ForestParams params;
+  params.n_trees = 7;
+  ml::RandomForestRegressor regressor;
+  regressor.fit(data, params, rng);
+  const ml::FlatForest forest = ml::FlatForest::fromRegressor(regressor);
+
+  for (int i = 0; i < 50; ++i) {
+    for (float& v : row) {
+      v = static_cast<float>(rng.nextDouble(-1.0, 5.0));
+    }
+    Box point = Box::uniform(4, Interval{});
+    for (std::size_t d = 0; d < 4; ++d) point[d] = Interval{row[d], row[d]};
+    const ForestBounds bounds = forestBounds(forest, point);
+    const float predicted = forest.predict(row);
+    EXPECT_EQ(bounds.lo, predicted);
+    EXPECT_EQ(bounds.hi, predicted);
+    EXPECT_EQ(bounds.reachable_leaves, forest.treeCount());
+  }
+}
+
+TEST(IntervalEngineTest, ContainmentOnRandomBoxes) {
+  util::Rng rng(7);
+  ml::Dataset data;
+  std::vector<float> row(3);
+  for (int r = 0; r < 60; ++r) {
+    float sum = 0.0f;
+    for (float& v : row) {
+      v = static_cast<float>(rng.nextDouble(0.0, 4.0));
+      sum += v;
+    }
+    data.append(row, sum);
+  }
+  ml::ForestParams params;
+  params.n_trees = 5;
+  ml::RandomForestRegressor regressor;
+  regressor.fit(data, params, rng);
+  const ml::FlatForest forest = ml::FlatForest::fromRegressor(regressor);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Box box = Box::uniform(3, Interval{});
+    for (std::size_t d = 0; d < 3; ++d) {
+      auto a = static_cast<float>(rng.nextDouble(-1.0, 5.0));
+      auto b = static_cast<float>(rng.nextDouble(-1.0, 5.0));
+      if (a > b) std::swap(a, b);
+      box[d] = Interval{a, b};
+    }
+    const ForestBounds bounds = forestBounds(forest, box);
+    for (int s = 0; s < 200; ++s) {
+      for (std::size_t d = 0; d < 3; ++d) {
+        const auto v = static_cast<float>(
+            rng.nextDouble(box[d].lo, box[d].hi));
+        row[d] = std::min(std::max(v, box[d].lo), box[d].hi);
+      }
+      const float predicted = forest.predict(row);
+      EXPECT_GE(predicted, bounds.lo);
+      EXPECT_LE(predicted, bounds.hi);
+    }
+  }
+}
+
+TEST(IntervalEngineTest, FindStraddlingSplitPrefersRootMost) {
+  // Root splits feature 0; its left child splits feature 1. A box
+  // straddling both must report the root split (depth 0).
+  std::vector<ml::DecisionTree::Node> nodes(5);
+  nodes[0] = {0, 1.0f, 1, 2, 0.0f};
+  nodes[1] = {1, 2.0f, 3, 4, 0.0f};
+  nodes[2] = {-1, 0.0f, -1, -1, 9.0f};
+  nodes[3] = {-1, 0.0f, -1, -1, 1.0f};
+  nodes[4] = {-1, 0.0f, -1, -1, 2.0f};
+  ml::DecisionTree tree;
+  tree.setNodes(std::move(nodes));
+  const ml::FlatForest forest = compileTrees({tree});
+
+  Box box = Box::uniform(2, Interval{0.0f, 4.0f});
+  const SplitPoint split = findStraddlingSplit(forest, box);
+  EXPECT_EQ(split.feature, 0);
+  EXPECT_EQ(split.threshold, 1.0f);
+  EXPECT_EQ(split.depth, 0);
+
+  // Skipping feature 0 surfaces the deeper feature-1 split instead.
+  const SplitPoint skipped = findStraddlingSplit(forest, box, 0);
+  EXPECT_EQ(skipped.feature, 1);
+  EXPECT_EQ(skipped.threshold, 2.0f);
+
+  // A box past the root threshold resolves the root; no straddle on
+  // feature 0 remains and the right subtree is a leaf.
+  Box right = Box::uniform(2, Interval{2.0f, 4.0f});
+  const SplitPoint resolved = findStraddlingSplit(forest, right);
+  EXPECT_EQ(resolved.feature, -1);
+}
+
+TEST(IntervalEngineTest, DeadBranchesUnderUnitDomain) {
+  // Threshold 2 on a [0,1] feature: the right branch (x > 2) is dead.
+  // Threshold -1: the left branch (x <= -1) is dead.
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 2.0f, 1.0f, 2.0f),
+                    stepTree(0, -1.0f, 3.0f, 4.0f)});
+  Box unit = Box::uniform(1, Interval{0.0f, 1.0f});
+  const std::vector<DeadBranch> dead = deadBranches(forest, unit);
+  ASSERT_EQ(dead.size(), 2u);
+  EXPECT_EQ(dead[0].tree, 0u);
+  EXPECT_FALSE(dead[0].left_dead);
+  EXPECT_EQ(dead[0].threshold, 2.0f);
+  EXPECT_EQ(dead[1].tree, 1u);
+  EXPECT_TRUE(dead[1].left_dead);
+
+  // Widened domain: both branches reachable, nothing dead.
+  Box wide = Box::uniform(1, Interval{-2.0f, 3.0f});
+  EXPECT_TRUE(deadBranches(forest, wide).empty());
+}
+
+TEST(IntervalEngineTest, FeatureThresholdsSortedUnique) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(0, 2.0f, 1.0f, 2.0f),
+                    stepTree(0, 0.5f, 3.0f, 4.0f),
+                    stepTree(0, 2.0f, 5.0f, 6.0f),
+                    stepTree(1, 9.0f, 7.0f, 8.0f)});
+  const std::vector<float> t0 = featureThresholds(forest, 0);
+  ASSERT_EQ(t0.size(), 2u);
+  EXPECT_EQ(t0[0], 0.5f);
+  EXPECT_EQ(t0[1], 2.0f);
+  EXPECT_TRUE(featureThresholds(forest, 5).empty());
+}
+
+TEST(IntervalEngineTest, RejectsUndersizedOrEmptyBoxes) {
+  const ml::FlatForest forest =
+      compileTrees({stepTree(3, 1.0f, 1.0f, 2.0f)});
+  Box narrow = Box::uniform(2, Interval{0.0f, 1.0f});
+  EXPECT_THROW((void)treeBounds(forest, 0, narrow), std::invalid_argument);
+
+  Box empty_dim = Box::uniform(4, Interval{0.0f, 1.0f});
+  empty_dim[3] = Interval{2.0f, 1.0f};
+  EXPECT_THROW((void)forestBounds(forest, empty_dim),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::verify

@@ -1,0 +1,244 @@
+// MV rule tests: each rule on a fixture model that triggers it and on
+// a healthy model it must stay silent on, waiver interaction (MV
+// findings ride the lint waiver machinery, including WV001), the
+// safe-tclk certificate JSON, and the serving-admission gate.
+#include "verify/model_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lint/waiver.hpp"
+#include "tevot/model.hpp"
+#include "tevot/operating_grid.hpp"
+#include "util/status.hpp"
+#include "verify_test_util.hpp"
+
+namespace tevot::verify {
+namespace {
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Findings with the given rule ID.
+std::vector<lint::Finding> byRule(const lint::LintReport& report,
+                                  const std::string& rule) {
+  std::vector<lint::Finding> out;
+  for (const lint::Finding& f : report.findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(ModelRulesTest, FeatureDomainLayout) {
+  const core::FeatureEncoder encoder(true);
+  const core::OperatingGrid grid = core::OperatingGrid::paper();
+  const Box domain = featureDomain(encoder, grid);
+  ASSERT_EQ(domain.size(), 130u);
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(domain[i].lo, 0.0f);
+    EXPECT_EQ(domain[i].hi, 1.0f);
+  }
+  EXPECT_EQ(domain[kFeatV].lo, static_cast<float>(grid.v_start));
+  EXPECT_EQ(domain[kFeatV].hi, static_cast<float>(grid.v_end));
+  EXPECT_EQ(domain[kFeatT].lo, static_cast<float>(grid.t_start));
+  EXPECT_EQ(domain[kFeatT].hi, static_cast<float>(grid.t_end));
+
+  const core::FeatureEncoder no_history(false);
+  EXPECT_EQ(featureDomain(no_history, grid).size(), 66u);
+}
+
+TEST(ModelRulesTest, HealthyModelIsCleanAndCertifies) {
+  const core::TevotModel model =
+      modelFromTrees(healthyTrees(), tempPath("healthy.model"));
+  ModelVerifyContext ctx;
+  ctx.model = &model;
+  ctx.tclk_ps = 300.0;
+  const ModelVerifyResult result = runModelVerify(ctx);
+  EXPECT_TRUE(result.report.clean());
+  EXPECT_TRUE(byRule(result.report, "MV001").empty());
+  EXPECT_TRUE(byRule(result.report, "MV002").empty());
+  EXPECT_TRUE(byRule(result.report, "MV003").empty());
+  EXPECT_TRUE(byRule(result.report, "MV004").empty());
+  ASSERT_TRUE(result.has_certificate);
+  EXPECT_TRUE(result.certificate.certified);
+  // Exact mean over the operating box: [600/3, 760/3] ps.
+  EXPECT_NEAR(result.certificate.bound_lo_ps, 200.0f, 1e-3f);
+  EXPECT_NEAR(result.certificate.bound_hi_ps, 760.0f / 3.0f, 1e-3f);
+}
+
+TEST(ModelRulesTest, DeadAndOutOfDomainSplitsFire) {
+  // Threshold 2 on bit feature a[0] (domain [0,1]): outside the domain
+  // (MV002) and its right branch is unreachable (MV001).
+  const core::TevotModel model = modelFromTrees(
+      {leafTree(200.0f), stepTree(0, 2.0f, 150.0f, 250.0f)},
+      tempPath("dead_split.model"));
+  ModelVerifyContext ctx;
+  ctx.model = &model;
+  const ModelVerifyResult result = runModelVerify(ctx);
+  const auto mv001 = byRule(result.report, "MV001");
+  ASSERT_EQ(mv001.size(), 1u);
+  EXPECT_EQ(mv001[0].severity, lint::Severity::kWarning);
+  EXPECT_EQ(mv001[0].location.rfind("tree:1/node:", 0), 0u);
+  const auto mv002 = byRule(result.report, "MV002");
+  ASSERT_EQ(mv002.size(), 1u);
+  EXPECT_EQ(mv002[0].severity, lint::Severity::kWarning);
+  // Warnings only: the report is still clean.
+  EXPECT_TRUE(result.report.clean());
+}
+
+TEST(ModelRulesTest, VMonotonicityViolationReported) {
+  const core::TevotModel model = modelFromTrees(
+      vIncreasingTrees(), tempPath("v_increasing.model"));
+  ModelVerifyContext ctx;
+  ctx.model = &model;
+  const ModelVerifyResult result = runModelVerify(ctx);
+  const auto mv003 = byRule(result.report, "MV003");
+  ASSERT_GE(mv003.size(), 1u);
+  const auto v_finding = std::find_if(
+      mv003.begin(), mv003.end(),
+      [](const lint::Finding& f) { return f.location == "feature:V"; });
+  ASSERT_NE(v_finding, mv003.end());
+  EXPECT_EQ(v_finding->severity, lint::Severity::kWarning);
+  EXPECT_NE(v_finding->message.find("not non-increasing"),
+            std::string::npos);
+  EXPECT_NE(v_finding->message.find("every point"), std::string::npos);
+}
+
+TEST(ModelRulesTest, NegativeTailRejectedDespitePassingCanaries) {
+  const core::TevotModel model = modelFromTrees(
+      negativeTailTrees(), tempPath("negative_tail.model"));
+  // The point-canary validation accepts it (every canary predicts
+  // with b = ~a, which never reaches the hidden conjunction) —
+  // exactly the gap the interval analysis closes.
+  EXPECT_TRUE(model.validateForServing().ok())
+      << model.validateForServing().toString();
+
+  ModelVerifyContext ctx;
+  ctx.model = &model;
+  const ModelVerifyResult result = runModelVerify(ctx);
+  const auto mv004 = byRule(result.report, "MV004");
+  ASSERT_GE(mv004.size(), 1u);
+  EXPECT_EQ(mv004[0].severity, lint::Severity::kError);
+  EXPECT_NE(mv004[0].message.find("negative"), std::string::npos);
+  EXPECT_FALSE(result.report.clean());
+
+  const util::Status gate = certifyModelForServing(model);
+  EXPECT_FALSE(gate.ok());
+  EXPECT_EQ(gate.code, util::StatusCode::kInvalidArgument);
+  EXPECT_NE(gate.message.find("MV004"), std::string::npos);
+}
+
+TEST(ModelRulesTest, TclkViolationProducesCounterexampleCertificate) {
+  const core::TevotModel model =
+      modelFromTrees(healthyTrees(), tempPath("healthy_tclk.model"));
+  ModelVerifyContext ctx;
+  ctx.model = &model;
+  ctx.tclk_ps = 210.0;  // below the guaranteed max of 253.33 ps
+  const ModelVerifyResult result = runModelVerify(ctx);
+  const auto mv004 = byRule(result.report, "MV004");
+  ASSERT_GE(mv004.size(), 1u);
+  EXPECT_EQ(mv004[0].severity, lint::Severity::kError);
+  ASSERT_TRUE(result.has_certificate);
+  EXPECT_FALSE(result.certificate.certified);
+  EXPECT_FALSE(result.certificate.counterexample_json.empty());
+  const std::string json = result.certificate.toJson();
+  EXPECT_NE(json.find("\"certified\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"counterexample\":{"), std::string::npos);
+}
+
+TEST(ModelRulesTest, CertificateJsonSchema) {
+  const core::TevotModel model =
+      modelFromTrees(healthyTrees(), tempPath("healthy_cert.model"));
+  ModelVerifyContext ctx;
+  ctx.model = &model;
+  ctx.tclk_ps = 300.0;
+  ctx.model_path = "fixtures/healthy.model";
+  const ModelVerifyResult result = runModelVerify(ctx);
+  ASSERT_TRUE(result.has_certificate);
+  const std::string json = result.certificate.toJson();
+  EXPECT_NE(json.find("\"schema\":\"tevot-safe-tclk-certificate-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"fixtures/healthy.model\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tclk_ps\":300"), std::string::npos);
+  EXPECT_NE(json.find("\"certified\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"delay_bound_ps\""), std::string::npos);
+  EXPECT_NE(json.find("\"counterexample\":null"), std::string::npos);
+}
+
+TEST(ModelRulesTest, WaiversSuppressAndWv001ReportsUnused) {
+  const core::TevotModel model = modelFromTrees(
+      negativeTailTrees(), tempPath("waived.model"));
+  ModelVerifyContext ctx;
+  ctx.model = &model;
+
+  lint::WaiverSet waivers = lint::WaiverSet::parseString(
+      "MV004 *            # accepted negative tail, tracked elsewhere\n"
+      "MV001 tree:9/*     # never matches: stale\n");
+  const ModelVerifyResult result = runModelVerify(ctx, &waivers);
+  // The MV004 error is waived out of the verdict...
+  EXPECT_TRUE(result.report.clean());
+  EXPECT_GE(result.report.waivedCount(), 1u);
+  const auto mv004 = byRule(result.report, "MV004");
+  ASSERT_GE(mv004.size(), 1u);
+  EXPECT_TRUE(mv004[0].waived);
+  // ... and the stale waiver rots visibly.
+  const auto wv001 = byRule(result.report, "WV001");
+  ASSERT_EQ(wv001.size(), 1u);
+  EXPECT_NE(wv001[0].message.find("matched no finding"),
+            std::string::npos);
+}
+
+TEST(ModelRulesTest, ServingGateAcceptsHealthyModel) {
+  const core::TevotModel model =
+      modelFromTrees(healthyTrees(), tempPath("healthy_gate.model"));
+  EXPECT_TRUE(certifyModelForServing(model).ok());
+}
+
+TEST(ModelRulesTest, RejectsNullAndUntrainedModels) {
+  ModelVerifyContext ctx;
+  EXPECT_THROW((void)runModelVerify(ctx), std::invalid_argument);
+  const core::TevotModel untrained;
+  ctx.model = &untrained;
+  EXPECT_THROW((void)runModelVerify(ctx), std::invalid_argument);
+}
+
+TEST(ModelRulesTest, ConcurrentCertificationOnSharedModel) {
+  // The serving gate runs on reload while workers predict from the
+  // same immutable model; certification is read-only over the shared
+  // FlatForest, so concurrent callers must be race-free (this test
+  // rides in the TSan CI job).
+  const core::TevotModel model = modelFromTrees(
+      healthyTrees(), tempPath("healthy_concurrent.model"));
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        if (certifyModelForServing(model).ok()) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ok_count.load(), 32);
+}
+
+TEST(ModelRulesTest, RuleCatalogAndSeverities) {
+  const std::vector<std::string> ids = modelRuleIds();
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids.front(), "MV001");
+  EXPECT_EQ(ids.back(), "MV005");
+  EXPECT_EQ(modelRuleSeverity("MV004"), lint::Severity::kError);
+  EXPECT_EQ(modelRuleSeverity("MV005"), lint::Severity::kInfo);
+  EXPECT_THROW((void)modelRuleSeverity("MV999"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tevot::verify

@@ -83,6 +83,7 @@
 #include "check/property.hpp"
 #include "check/serve_oracle.hpp"
 #include "check/sweep_oracle.hpp"
+#include "check/verify_oracle.hpp"
 #include "dta/sweep.hpp"
 #include "liberty/lib_format.hpp"
 #include "lint/rules.hpp"
@@ -91,6 +92,7 @@
 #include "sdf/sdf.hpp"
 #include "tevot/operating_grid.hpp"
 #include "tevot/pipeline.hpp"
+#include "verify/model_rules.hpp"
 
 namespace {
 
@@ -124,6 +126,9 @@ int usage() {
                "  lint <fu>|--all [--grid NVxNT] [--budget PS] "
                "[--waivers FILE]\n"
                "       [--sdf FILE] [--json FILE]\n"
+               "  verify-model <model-file> [--grid NVxNT] [--tclk PS]\n"
+               "               [--refine-budget N] [--waivers FILE]\n"
+               "               [--json FILE] [--cert FILE]\n"
                "  serve-check <port> <model-file> <fu> [--clients N] "
                "[--requests N]\n"
                "              [--seed S]\n"
@@ -320,6 +325,10 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
                           check::checkSweepFaultTolerance);
   properties.emplace_back("serve/resilience", check::checkServeResilience);
   properties.emplace_back("fleet/resilience", check::checkFleetResilience);
+  properties.emplace_back("verify/bounds-containment",
+                          check::checkVerifyBoundsContainment);
+  properties.emplace_back("verify/certification",
+                          check::checkVerifyCertification);
   if (util::envFlag("TEVOT_CHECK_FORCE_FAIL")) {
     // Internal self-test knob: a property that always fails, so the
     // exit-code taxonomy (3 = check failure) can be tested end to end.
@@ -343,7 +352,7 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
   return ok ? kExitOk : kExitCheckFailed;
 }
 
-int cmdLint(int argc, char** argv) {
+int cmdLint(int argc, char** argv, util::ThreadPool& pool) {
   std::vector<circuits::FuKind> kinds;
   bool all = false;
   std::string waiver_path;
@@ -408,10 +417,17 @@ int cmdLint(int argc, char** argv) {
   const liberty::Corner nominal{vt_model.params().vnom,
                                 vt_model.params().tnom_c};
 
-  bool clean = true;
-  std::string json;
-  for (const circuits::FuKind kind : kinds) {
-    const netlist::Netlist nl = circuits::buildFu(kind);
+  // Each FU lints into an indexed slot (rule execution inside runLint
+  // is pool-parallel too), then slots are rendered in FU order — the
+  // output is byte-identical for any --jobs value.
+  struct FuLintOutput {
+    std::string text;
+    std::string json;
+    bool clean = true;
+  };
+  std::vector<FuLintOutput> outputs(kinds.size());
+  const auto lint_one = [&](std::size_t idx) {
+    const netlist::Netlist nl = circuits::buildFu(kinds[idx]);
     // The SDF under test: an external file, or a write->parse round
     // trip of this netlist's own nominal-corner annotation (proving
     // the writer, the parser and the annotator agree end to end).
@@ -436,11 +452,24 @@ int cmdLint(int argc, char** argv) {
     if (!waiver_path.empty()) {
       waivers = lint::WaiverSet::parseFile(waiver_path);
     }
-    const lint::LintReport report = lint::runLint(ctx, &waivers);
-    std::printf("%s", report.toText().c_str());
-    clean = clean && report.clean();
+    const lint::LintReport report = lint::runLint(ctx, &waivers, &pool);
+    outputs[idx].text = report.toText();
+    outputs[idx].json = report.toJson();
+    outputs[idx].clean = report.clean();
+  };
+  if (kinds.size() > 1 && pool.threadCount() > 1) {
+    pool.parallelFor(kinds.size(), lint_one);
+  } else {
+    for (std::size_t i = 0; i < kinds.size(); ++i) lint_one(i);
+  }
+
+  bool clean = true;
+  std::string json;
+  for (const FuLintOutput& out : outputs) {
+    std::printf("%s", out.text.c_str());
+    clean = clean && out.clean;
     if (!json.empty()) json += ",\n";
-    json += report.toJson();
+    json += out.json;
   }
   if (kinds.size() > 1) json = "[\n" + json + "]\n";
   if (json_path == "-") {
@@ -597,6 +626,122 @@ int cmdSweep(int argc, char** argv, util::ThreadPool& pool) {
   return result.report.allOk() ? kExitOk : kExitRuntime;
 }
 
+// verify-model: interval certification over a trained model's whole
+// feature domain (MV rule catalog, DESIGN.md §5h). Exit taxonomy
+// matches lint: 0 clean, 3 unwaived error findings, 1/2 runtime/usage.
+int cmdVerifyModel(int argc, char** argv) {
+  std::string model_path;
+  std::string waiver_path;
+  std::string json_path;
+  std::string cert_path;
+  double tclk_ps = 0.0;
+  long refine_budget = 4096;
+  int grid_v = 0, grid_t = 0;  // 0 = the full paper grid corner set
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "verify-model: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--tclk") {
+      const char* v = value("--tclk");
+      if (v == nullptr) return usage();
+      tclk_ps = std::atof(v);
+      if (tclk_ps <= 0.0) return usage();
+    } else if (arg == "--refine-budget") {
+      const char* v = value("--refine-budget");
+      if (v == nullptr) return usage();
+      refine_budget = std::atol(v);
+      if (refine_budget < 1) return usage();
+    } else if (arg == "--waivers") {
+      const char* v = value("--waivers");
+      if (v == nullptr) return usage();
+      waiver_path = v;
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (v == nullptr) return usage();
+      json_path = v;
+    } else if (arg == "--cert") {
+      const char* v = value("--cert");
+      if (v == nullptr) return usage();
+      cert_path = v;
+    } else if (arg == "--grid") {
+      const char* v = value("--grid");
+      if (v == nullptr ||
+          std::sscanf(v, "%dx%d", &grid_v, &grid_t) != 2 || grid_v < 1 ||
+          grid_t < 1) {
+        return usage();
+      }
+    } else if (model_path.empty() && arg[0] != '-') {
+      model_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (model_path.empty()) return usage();
+  if (!cert_path.empty() && tclk_ps <= 0.0) {
+    std::fprintf(stderr, "verify-model: --cert requires --tclk\n");
+    return usage();
+  }
+
+  const core::TevotModel model = core::TevotModel::load(model_path);
+  verify::ModelVerifyContext ctx;
+  ctx.model = &model;
+  ctx.tclk_ps = tclk_ps;
+  ctx.refine_budget = static_cast<std::size_t>(refine_budget);
+  ctx.model_path = model_path;
+  if (grid_v > 0) ctx.corners = ctx.grid.subsampled(grid_v, grid_t);
+  lint::WaiverSet waivers;
+  if (!waiver_path.empty()) {
+    waivers = lint::WaiverSet::parseFile(waiver_path);
+  }
+
+  const verify::ModelVerifyResult result =
+      verify::runModelVerify(ctx, &waivers);
+  std::printf("%s", result.report.toText().c_str());
+  const verify::SafeTclkCertificate& cert = result.certificate;
+  std::printf(
+      "guaranteed delay bound over the operating box: [%.3f, %.3f] ps\n",
+      static_cast<double>(cert.bound_lo_ps),
+      static_cast<double>(cert.bound_hi_ps));
+  if (tclk_ps > 0.0) {
+    std::printf("safe-tclk %.3f ps: %s\n", tclk_ps,
+                cert.certified ? "CERTIFIED" : "NOT CERTIFIED");
+  }
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& body,
+                             const char* what) -> bool {
+    std::ofstream os(path);
+    if (os) {
+      os << body;
+      os.flush();
+    }
+    if (!os) {
+      std::fprintf(stderr, "verify-model: cannot write %s %s: %s\n", what,
+                   path.c_str(), std::strerror(errno));
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  if (json_path == "-") {
+    std::printf("%s\n", result.report.toJson().c_str());
+  } else if (!json_path.empty()) {
+    if (!write_file(json_path, result.report.toJson() + "\n", "report")) {
+      return kExitRuntime;
+    }
+  }
+  if (!cert_path.empty() &&
+      !write_file(cert_path, cert.toJson() + "\n", "certificate")) {
+    return kExitRuntime;
+  }
+  return result.report.clean() ? kExitOk : kExitCheckFailed;
+}
+
 int cmdServeCheck(int argc, char** argv) {
   int port = -1;
   std::string model_path;
@@ -724,7 +869,8 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (command == "sweep") return cmdSweep(argc, argv, pool);
-    if (command == "lint") return cmdLint(argc, argv);
+    if (command == "lint") return cmdLint(argc, argv, pool);
+    if (command == "verify-model") return cmdVerifyModel(argc, argv);
     if (command == "serve-check") return cmdServeCheck(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "tevot_cli: %s\n", error.what());

@@ -44,8 +44,10 @@ int usage() {
       "usage: tevot_serve --model-dir DIR [--port P] [--workers N]\n"
       "                   [--queue N] [--max-conns N] [--deadline-ms MS]\n"
       "                   [--drain-ms MS] [--breaker-failures N]\n"
-      "                   [--breaker-cooldown-ms MS]\n"
+      "                   [--breaker-cooldown-ms MS] [--strict-verify]\n"
       "DIR: one <fu>.model per served unit (from `tevot_cli train`)\n"
+      "--strict-verify: refuse models that fail interval certification\n"
+      "  (tevot_cli verify-model) at load and at every reload\n"
       "SIGHUP reloads models; SIGTERM/SIGINT drains and exits 0\n");
   return 2;
 }
@@ -95,6 +97,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--breaker-cooldown-ms") {
       if ((v = value()) == nullptr) return usage();
       options.breaker.cooldown_ms = std::atof(v);
+    } else if (arg == "--strict-verify") {
+      options.strict_verify = true;
     } else {
       std::fprintf(stderr, "tevot_serve: unknown option %s\n",
                    arg.c_str());
