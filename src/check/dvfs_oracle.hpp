@@ -1,0 +1,39 @@
+// Closed-loop DVFS safety oracle.
+//
+// Contract being checked, under deterministic fault injection at
+// serve.accept / serve.parse / serve.predict / serve.slow (rate 0.1):
+//
+//   1. Zero unrecovered violations: with a sound certificate (tclk >=
+//      STA at the worst corner x margin) the escape count is exactly
+//      zero no matter which windows degrade — faults may only cost
+//      throughput, never safety.
+//   2. Exactly one clock decision per window: the trace carries one
+//      line per window, and adaptive + fallback windows == windows.
+//   3. Fallback accounting is exact: every degraded backend response
+//      is attributed to exactly one fallback counter
+//      (shed/deadline/error/disconnect) and their sum equals the
+//      fallback window count.
+//   4. Determinism: a rerun against a fresh identically-faulted server
+//      yields a byte-identical controller trace and report JSON (the
+//      server's request/connection id spaces are per-instance, and
+//      the oracle drives one sequential connection, so fault sites
+//      reproduce exactly).
+//
+// Deadlines are left at 0 here so the serve.slow point can only cost
+// wall time — a DEADLINE response would depend on scheduler timing
+// and break (4).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace tevot::check {
+
+/// Property for check::forAllSeeds. Boots an in-process server per run
+/// on the shared oracle model (see oracleModel()), drives the DVFS
+/// controller over a seeded stream through the serve backend, and
+/// throws PropertyViolation on any breach of the contract above.
+void checkDvfsSafety(std::uint64_t seed, util::Rng& rng);
+
+}  // namespace tevot::check

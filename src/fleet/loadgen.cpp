@@ -96,19 +96,43 @@ void connectionRoutine(const LoadgenOptions& options, int index,
   const double end_ms = options.duration_s * 1000.0;
   std::vector<serve::BatchOperand> tuples(options.batch_tuples);
 
+  const auto stopped = [&options] {
+    return options.stop && options.stop();
+  };
+
   double next_ms = nextGapMs(options.arrival, per_conn_rate_ms, rng);
   if (options.arrival == Arrival::kBursty) {
     next_ms = gateIntoBurst(next_ms, phase_ms);
   }
   while (next_ms < end_ms) {
+    if (stopped()) {
+      report.interrupted = true;
+      break;
+    }
     // Open loop: sleep to the scheduled arrival; a behind-schedule
-    // send goes out immediately and is counted as late.
-    const double now_ms = msSince(start);
-    if (now_ms < next_ms) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(next_ms - now_ms));
-    } else {
+    // send goes out immediately and is counted as late. Sleeps are
+    // sliced so the stop hook is honored promptly even with sparse
+    // arrivals.
+    constexpr double kSleepSliceMs = 50.0;
+    double now_ms = msSince(start);
+    if (now_ms >= next_ms) {
       ++report.late_arrivals;
+    } else {
+      bool stop_during_sleep = false;
+      while (now_ms < next_ms) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                std::min(next_ms - now_ms, kSleepSliceMs)));
+        if (stopped()) {
+          stop_during_sleep = true;
+          break;
+        }
+        now_ms = msSince(start);
+      }
+      if (stop_during_sleep) {
+        report.interrupted = true;
+        break;
+      }
     }
 
     std::string line;
@@ -233,6 +257,7 @@ void LoadgenReport::mergeFrom(const LoadgenReport& other) {
   unparseable += other.unparseable;
   reconnects += other.reconnects;
   late_arrivals += other.late_arrivals;
+  interrupted = interrupted || other.interrupted;
   latency.merge(other.latency);
 }
 
@@ -288,6 +313,7 @@ std::string LoadgenReport::toJson(const std::string& label,
   number("malformed_ok", static_cast<double>(malformed_ok));
   number("reconnects", static_cast<double>(reconnects));
   number("late_arrivals", static_cast<double>(late_arrivals));
+  number("interrupted", interrupted ? 1.0 : 0.0);
   number("p50_ms", latency.p50());
   number("p95_ms", latency.p95());
   number("p99_ms", latency.p99());

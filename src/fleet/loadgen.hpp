@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -52,6 +53,14 @@ struct LoadgenOptions {
   double malformed_fraction = 0.02;
   double deadline_ms = 0.0;        ///< per-request deadline; 0 = none
   std::uint64_t seed = 1;
+  /// Cooperative-stop hook, polled between arrivals and during
+  /// inter-arrival sleeps (sleeps are sliced so a stop is honored
+  /// within ~50 ms). When it returns true every connection finishes
+  /// its in-flight request — the exactly-one-response classification
+  /// stays intact — and the partial report is still valid and marked
+  /// interrupted. Null = run to duration_s. tevot_loadgen wires
+  /// SIGINT/SIGTERM through this.
+  std::function<bool()> stop;
 };
 
 struct LoadgenReport {
@@ -67,6 +76,9 @@ struct LoadgenReport {
   std::uint64_t unparseable = 0;    ///< response outside the taxonomy
   std::uint64_t reconnects = 0;
   std::uint64_t late_arrivals = 0;  ///< sends behind the open-loop plan
+  /// The storm was cut short by the stop hook; counters cover the
+  /// portion that ran and are internally consistent.
+  bool interrupted = false;
   double wall_s = 0.0;
   double offered_qps = 0.0;   ///< responses_expected / wall
   double achieved_qps = 0.0;  ///< classified responses / wall

@@ -10,6 +10,17 @@
 
 namespace tevot::serve {
 
+/// Bounded-backoff schedule for LineClient::reconnect(). The waits
+/// are deterministic (no jitter) so a controller retrying through a
+/// fault storm stays exactly reproducible: attempt k sleeps
+/// min(initial_backoff_ms * growth^k, max_backoff_ms) before dialing.
+struct ReconnectPolicy {
+  int max_attempts = 5;
+  double initial_backoff_ms = 1.0;
+  double growth = 2.0;
+  double max_backoff_ms = 100.0;
+};
+
 class LineClient {
  public:
   /// Hard cap on one response line. A server response is at most a
@@ -25,6 +36,18 @@ class LineClient {
   /// of blocking forever on a wedged peer (the fleet router bounds
   /// backend stalls with this).
   util::Status connectTo(int port, double recv_timeout_ms = 0.0);
+
+  /// Re-dials the port of the last connectTo() (with its recv
+  /// timeout), retrying up to policy.max_attempts times with bounded
+  /// exponential backoff between attempts. Before this helper every
+  /// caller hand-rolled its own reconnect loop around a dropped
+  /// connection. Closes any half-dead socket first; on success the
+  /// read buffer is empty (mid-stream partial lines are discarded —
+  /// the newline protocol cannot resume a torn response, callers
+  /// resend the request). Fails with the last attempt's IoError plus
+  /// the attempt count; kInvalidArgument when connectTo() never
+  /// succeeded (no port to redial).
+  util::Status reconnect(const ReconnectPolicy& policy = {});
 
   bool connected() const { return fd_.valid(); }
 
@@ -44,6 +67,8 @@ class LineClient {
  private:
   util::UniqueFd fd_;
   std::string buffer_;
+  int last_port_ = 0;  ///< 0 until the first connectTo()
+  double last_recv_timeout_ms_ = 0.0;
 };
 
 }  // namespace tevot::serve

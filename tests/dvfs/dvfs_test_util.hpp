@@ -1,0 +1,77 @@
+// Shared fixtures for the dvfs test binaries: a scripted DelayBackend
+// that answers each window from a canned list (no model, no server)
+// and a hand-built certified safe-tclk certificate covering the
+// default operating grid.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dvfs/backend.hpp"
+#include "dvfs/stream.hpp"
+#include "verify/model_rules.hpp"
+
+namespace tevot::dvfs {
+
+/// Answers window i from script[i]; a script entry with outcome kOk
+/// and a single delay is broadcast to every transition of the window
+/// so tests don't have to know window sizes. Off-script windows
+/// repeat the last entry.
+class ScriptedBackend : public DelayBackend {
+ public:
+  struct Entry {
+    WindowOutcome outcome = WindowOutcome::kOk;
+    double delay_ps = 0.0;  ///< broadcast when outcome == kOk
+  };
+
+  explicit ScriptedBackend(std::vector<Entry> script)
+      : script_(std::move(script)) {}
+
+  const char* name() const override { return "scripted"; }
+
+  WindowPrediction predictWindow(const WindowedStream& stream,
+                                 const Window& w) override {
+    (void)stream;
+    const Entry& entry =
+        script_[next_ < script_.size() ? next_ : script_.size() - 1];
+    ++next_;
+    WindowPrediction out;
+    out.outcome = entry.outcome;
+    if (entry.outcome == WindowOutcome::kOk) {
+      out.delays_ps.assign(w.cycles(), entry.delay_ps);
+    } else {
+      out.detail = "scripted";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Entry> script_;
+  std::size_t next_ = 0;
+};
+
+/// Certified certificate whose operating box covers the default grid.
+inline verify::SafeTclkCertificate testCertificate(double tclk_ps) {
+  verify::SafeTclkCertificate cert;
+  cert.model_path = "test";
+  cert.history = true;
+  cert.feature_count = 1;
+  cert.tree_count = 1;
+  cert.v_lo = 0.81;
+  cert.v_hi = 1.00;
+  cert.t_lo = 0.0;
+  cert.t_hi = 100.0;
+  cert.tclk_ps = tclk_ps;
+  cert.certified = true;
+  return cert;
+}
+
+/// Ground truth returning the same delay for every transition.
+inline GroundTruth constantGroundTruth(double delay_ps) {
+  return [delay_ps](const Window& w) {
+    return std::vector<double>(w.cycles(), delay_ps);
+  };
+}
+
+}  // namespace tevot::dvfs

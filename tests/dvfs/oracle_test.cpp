@@ -1,0 +1,22 @@
+// Runs the dvfs/safety property (zero escapes, one decision per
+// window, exact fallback accounting, byte-identical reruns — all
+// under injected serve faults) through the check framework for a few
+// seeds, so ctest exercises it without going through tevot_cli.
+#include <gtest/gtest.h>
+
+#include "check/dvfs_oracle.hpp"
+#include "check/property.hpp"
+#include "util/rng.hpp"
+
+namespace tevot::check {
+namespace {
+
+TEST(DvfsOracleTest, SafetyHoldsUnderInjectedFaults) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    util::Rng rng(seed);
+    EXPECT_NO_THROW(checkDvfsSafety(seed, rng)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tevot::check

@@ -1,0 +1,141 @@
+// runDvfs driver semantics: in-process reports are byte-identical at
+// any thread-pool size, per-FU streams are decorrelated by seed
+// offset, refusals and runs coexist in one report, and the run JSON
+// aggregates per-FU payloads in input order.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/serve_oracle.hpp"
+#include "dvfs/run.hpp"
+#include "tevot/pipeline.hpp"
+#include "dvfs_test_util.hpp"
+#include "util/fault_injection.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tevot::dvfs {
+namespace {
+
+verify::SafeTclkCertificate soundCertificate() {
+  core::FuContext context(circuits::FuKind::kIntAdd);
+  return testCertificate(context.staCriticalPathPs({0.81, 100.0}) * 1.1);
+}
+
+RunOptions smallRunOptions(util::FaultInjector* faults) {
+  RunOptions options;
+  options.stream.cycles = 33;  // 32 transitions -> 4 windows
+  options.stream.window = 8;
+  options.stream.seed = 5;
+  options.faults = faults;
+  return options;
+}
+
+TEST(RunDvfsTest, InProcessIsByteIdenticalAcrossPoolSizes) {
+  const check::OracleModel oracle = check::oracleModel();
+  std::vector<FuSetup> fus(2);
+  for (FuSetup& fu : fus) {
+    fu.kind = circuits::FuKind::kIntAdd;
+    fu.model = &oracle.model;
+    fu.cert = soundCertificate();
+  }
+  util::FaultInjector quiet;
+  const RunOptions options = smallRunOptions(&quiet);
+
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(4);
+  const RunReport a = runDvfs(fus, options, serial);
+  const RunReport b = runDvfs(fus, options, wide);
+  ASSERT_EQ(a.fus.size(), 2u);
+  ASSERT_EQ(b.fus.size(), 2u);
+  for (std::size_t i = 0; i < a.fus.size(); ++i) {
+    EXPECT_EQ(a.fus[i].trace, b.fus[i].trace) << "fu " << i;
+    EXPECT_EQ(a.fus[i].toJson(), b.fus[i].toJson()) << "fu " << i;
+  }
+  EXPECT_EQ(a.toJson("x"), b.toJson("x"));
+}
+
+TEST(RunDvfsTest, PerFuStreamsAreDecorrelatedBySeedOffset) {
+  const check::OracleModel oracle = check::oracleModel();
+  std::vector<FuSetup> fus(2);
+  for (FuSetup& fu : fus) {
+    fu.kind = circuits::FuKind::kIntAdd;
+    fu.model = &oracle.model;
+    fu.cert = soundCertificate();
+  }
+  util::FaultInjector quiet;
+  util::ThreadPool pool(1);
+  const RunReport run = runDvfs(fus, smallRunOptions(&quiet), pool);
+  ASSERT_EQ(run.fus.size(), 2u);
+  ASSERT_TRUE(run.fus[0].status.ok());
+  ASSERT_TRUE(run.fus[1].status.ok());
+  // Same FU kind and options, seed offset by index: different streams
+  // must leave different traces.
+  EXPECT_NE(run.fus[0].trace, run.fus[1].trace);
+}
+
+TEST(RunDvfsTest, InProcessWithoutModelIsACallerBug) {
+  std::vector<FuSetup> fus(1);
+  fus[0].kind = circuits::FuKind::kIntAdd;
+  fus[0].model = nullptr;  // in-process mode requires a trained model
+  fus[0].cert = soundCertificate();
+  util::FaultInjector quiet;
+  util::ThreadPool pool(1);
+  const RunOptions options = smallRunOptions(&quiet);
+  EXPECT_THROW(runDvfs(fus, options, pool), std::invalid_argument);
+}
+
+TEST(RunDvfsTest, PredictFaultsFallBackWithoutEscapes) {
+  const check::OracleModel oracle = check::oracleModel();
+  std::vector<FuSetup> fus(1);
+  fus[0].kind = circuits::FuKind::kIntAdd;
+  fus[0].model = &oracle.model;
+  fus[0].cert = soundCertificate();
+
+  // In-process fault point dvfs.predict at a high rate: a good chunk
+  // of windows degrade to the certified clock, none escape.
+  util::FaultInjector faults;
+  util::FaultPlan plan;
+  plan.seed = 9;
+  plan.rate = 0.5;
+  plan.points = {"dvfs.predict"};
+  plan.fail_attempts = 1;
+  faults.arm(plan);
+
+  util::ThreadPool pool(1);
+  const RunReport run = runDvfs(fus, smallRunOptions(&faults), pool);
+  ASSERT_EQ(run.fus.size(), 1u);
+  const DvfsReport& report = run.fus[0];
+  ASSERT_TRUE(report.status.ok()) << report.status.message;
+  EXPECT_EQ(report.adaptive_windows + report.fallback_windows,
+            report.windows);
+  EXPECT_GT(report.fallback_windows, 0u);  // rate 0.5 over 4 windows
+  EXPECT_EQ(report.fallback.error, report.fallback_windows);
+  EXPECT_EQ(report.escapes, 0u);
+  EXPECT_EQ(report.recovered, report.violations);
+}
+
+TEST(RunDvfsTest, RunJsonAggregatesInInputOrder) {
+  const check::OracleModel oracle = check::oracleModel();
+  std::vector<FuSetup> fus(2);
+  fus[0].kind = circuits::FuKind::kIntAdd;
+  fus[0].model = &oracle.model;
+  fus[0].cert = soundCertificate();
+  fus[1].kind = circuits::FuKind::kIntAdd;
+  fus[1].model = &oracle.model;
+  fus[1].cert_status = util::Status::parseError("bad certificate");
+  util::FaultInjector quiet;
+  util::ThreadPool pool(1);
+  const RunReport run = runDvfs(fus, smallRunOptions(&quiet), pool);
+
+  const std::string json = run.toJson("unit");
+  EXPECT_NE(json.find("\"bench\":\"dvfs_closed_loop\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"unit\""), std::string::npos);
+  // Refused FU's status message lands in the payload verbatim.
+  EXPECT_NE(json.find("bad certificate"), std::string::npos);
+  EXPECT_EQ(run.ranCount(), 1u);
+}
+
+}  // namespace
+}  // namespace tevot::dvfs

@@ -1,0 +1,114 @@
+// Cooperative-interrupt test for the tevot_loadgen binary: SIGTERM
+// mid-storm must finish in-flight requests, print the partial
+// classified summary, flush a valid --json payload marked
+// "interrupted": 1, and exit 130 — a cut-short run leaves data, not
+// wreckage. The server side runs in-process; only the loadgen is a
+// child process (it is the one being signalled).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "check/serve_oracle.hpp"
+#include "fixture.hpp"
+#include "serve/server.hpp"
+
+namespace tevot::fleet {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// "key": value out of the flat bench-JSON payload; -1 when missing.
+double jsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + at + needle.size());
+}
+
+TEST(LoadgenSigintTest, SigtermMidStormFlushesPartialJsonAndExits130) {
+  const check::OracleModel oracle = check::oracleModel();
+  serve::ServerOptions server_options;
+  server_options.model_dir = oracle.model_dir;
+  server_options.workers = 2;
+  serve::Server server(server_options);
+  ASSERT_TRUE(server.start().ok());
+
+  const std::string json_path =
+      testing::TempDir() + "tevot_loadgen_sigint.json";
+  std::filesystem::remove(json_path);
+
+  // A storm far longer than the test: only the signal ends it.
+  fleet_test::Process loadgen = fleet_test::Process::spawn(
+      TEVOT_LOADGEN_BINARY,
+      {"--port", std::to_string(server.port()), "--duration-s", "60",
+       "--rate-qps", "400", "--connections", "2", "--seed", "7",
+       "--label", "sigint", "--json", json_path});
+  ASSERT_GT(loadgen.pid(), 0);
+
+  // Let it actually send traffic before cutting it short.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  ASSERT_TRUE(loadgen.alive());
+  loadgen.signal(SIGTERM);
+
+  // Cooperative stop: in-flight requests finish, the report is
+  // flushed, exit code is 128 + SIGINT by shell convention. wait()
+  // hanging here would mean the stop hook never fired — ctest's
+  // timeout turns that into a failure rather than a silent pass.
+  EXPECT_EQ(loadgen.wait(), 130);
+  EXPECT_NE(loadgen.readStderr().find("interrupted by signal"),
+            std::string::npos);
+
+  const std::string json = slurp(json_path);
+  ASSERT_FALSE(json.empty()) << "partial JSON was not flushed";
+  EXPECT_EQ(jsonNumber(json, "interrupted"), 1.0);
+  // The partial report carries real classified traffic: the storm ran
+  // for ~0.7 s at 400 qps before the signal.
+  EXPECT_GT(jsonNumber(json, "lines_sent"), 0.0);
+  EXPECT_GT(jsonNumber(json, "ok"), 0.0);
+  // Internally consistent: every expected response was classified
+  // (the exactly-one-response contract survives the interrupt).
+  const double expected = jsonNumber(json, "responses_expected");
+  const double classified =
+      jsonNumber(json, "ok") + jsonNumber(json, "shed") +
+      jsonNumber(json, "deadline") + jsonNumber(json, "errors") +
+      jsonNumber(json, "no_response") + jsonNumber(json, "unparseable");
+  EXPECT_EQ(classified, expected);
+
+  server.drainAndStop();
+}
+
+TEST(LoadgenSigintTest, UninterruptedRunReportsInterruptedZero) {
+  const check::OracleModel oracle = check::oracleModel();
+  serve::ServerOptions server_options;
+  server_options.model_dir = oracle.model_dir;
+  server_options.workers = 2;
+  serve::Server server(server_options);
+  ASSERT_TRUE(server.start().ok());
+
+  const std::string json_path =
+      testing::TempDir() + "tevot_loadgen_clean.json";
+  std::filesystem::remove(json_path);
+  fleet_test::Process loadgen = fleet_test::Process::spawn(
+      TEVOT_LOADGEN_BINARY,
+      {"--port", std::to_string(server.port()), "--duration-s", "0.3",
+       "--rate-qps", "200", "--connections", "2", "--seed", "7",
+       "--json", json_path});
+  ASSERT_GT(loadgen.pid(), 0);
+  EXPECT_EQ(loadgen.wait(), 0);
+  const std::string json = slurp(json_path);
+  EXPECT_EQ(jsonNumber(json, "interrupted"), 0.0);
+  server.drainAndStop();
+}
+
+}  // namespace
+}  // namespace tevot::fleet

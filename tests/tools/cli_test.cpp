@@ -14,6 +14,9 @@
 #include <sys/wait.h>
 
 #include "../verify/verify_test_util.hpp"
+#include "util/status.hpp"
+#include "verify/certificate_io.hpp"
+#include "verify/model_rules.hpp"
 
 namespace {
 
@@ -390,6 +393,37 @@ TEST(CliVerifyModelTest, TrainedModelCertifiesWithCertificate) {
   std::filesystem::remove(model);
   std::filesystem::remove(cert);
   std::filesystem::remove(report);
+}
+
+TEST(CliVerifyModelTest, CertificateRoundTripsThroughLoader) {
+  // train -> verify-model --cert -> verify::loadCertificateFile: the
+  // DVFS controller consumes certificates through this exact loader,
+  // so the CLI's output must parse into a usable, re-serializable
+  // struct (parse(write(c)) is a fixed point).
+  const std::string model = testing::TempDir() + "cli_rt_int_add.model";
+  const RunResult trained = runCli("train int_add '" + model + "' 20");
+  ASSERT_EQ(trained.exit_code, 0) << trained.output;
+
+  const std::string cert_path = testing::TempDir() + "cli_rt_cert.json";
+  std::filesystem::remove(cert_path);
+  const RunResult result = runCli("verify-model '" + model +
+                                  "' --grid 3x3 --tclk 100000 --cert '" +
+                                  cert_path + "'");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+
+  tevot::verify::SafeTclkCertificate cert;
+  const tevot::util::Status status =
+      tevot::verify::loadCertificateFile(cert_path, &cert);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_TRUE(cert.certified);
+  EXPECT_DOUBLE_EQ(cert.tclk_ps, 100000.0);
+  EXPECT_EQ(cert.model_path, model);
+  EXPECT_GT(cert.tree_count, 0u);
+  // Writer convention is the document plus a trailing newline; the
+  // re-serialized struct reproduces the file byte for byte.
+  EXPECT_EQ(cert.toJson() + "\n", readFile(cert_path));
+  std::filesystem::remove(model);
+  std::filesystem::remove(cert_path);
 }
 
 TEST(CliVerifyModelTest, CorruptedFixtureExitsCheckFailed) {

@@ -77,6 +77,7 @@
 #include "util/signal.hpp"
 #include "util/thread_pool.hpp"
 
+#include "check/dvfs_oracle.hpp"
 #include "check/flat_oracle.hpp"
 #include "check/fleet_oracle.hpp"
 #include "check/oracles.hpp"
@@ -325,6 +326,7 @@ int cmdCheck(int n_seeds, std::uint64_t base_seed) {
                           check::checkSweepFaultTolerance);
   properties.emplace_back("serve/resilience", check::checkServeResilience);
   properties.emplace_back("fleet/resilience", check::checkFleetResilience);
+  properties.emplace_back("dvfs/safety", check::checkDvfsSafety);
   properties.emplace_back("verify/bounds-containment",
                           check::checkVerifyBoundsContainment);
   properties.emplace_back("verify/certification",

@@ -1,0 +1,277 @@
+// tevot_dvfs — closed-loop adaptive-clocking driver (src/dvfs/).
+//
+//   tevot_dvfs --cert-dir DIR (--model-dir DIR | --serve-port P)
+//              [--fus a,b,...|--all] [--cycles N] [--window N]
+//              [--seed N] [--guardband F] [--hysteresis F]
+//              [--escape-budget N] [--deadline-ms MS] [--jobs N]
+//              [--json PATH] [--trace-dir DIR] [--label TEXT]
+//
+// Runs the fault-tolerant DVFS controller over a seeded synthetic
+// operand stream per FU: the model (in-process from --model-dir, or
+// live over the wire against a tevot_serve on --serve-port) picks the
+// per-window clock, every window is ground-truthed against the event
+// simulator, and any degraded model answer falls back to the
+// certified safe clock loaded from <cert-dir>/<fu>.cert.json (the
+// `tevot_cli verify-model --cert` output). A missing or unusable
+// certificate refuses adaptive mode for that FU — reported, never a
+// crash.
+//
+// --json writes the machine-readable report (per-FU counters,
+// throughput gain vs the worst-case clock); --trace-dir writes the
+// per-window decision trace as <fu>.trace. Reports and traces are
+// byte-identical across reruns with the same seed in in-process mode
+// at any --jobs; with --serve-port the server's fault/request id
+// space is shared across FUs, so exact trace reproducibility
+// additionally requires --jobs 1.
+//
+// Exit codes: 0 adaptive clocking ran with zero unrecovered
+// violations, 1 runtime failure (no FU could run), 2 usage error,
+// 3 unrecovered violations (escapes) remain after recovery.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dvfs/run.hpp"
+#include "tevot/model.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/certificate_io.hpp"
+
+namespace {
+
+using namespace tevot;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitEscapes = 3;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tevot_dvfs --cert-dir DIR (--model-dir DIR | "
+      "--serve-port P)\n"
+      "                  [--fus a,b,...|--all] [--cycles N] [--window N]\n"
+      "                  [--seed N] [--guardband F] [--hysteresis F]\n"
+      "                  [--escape-budget N] [--deadline-ms MS]\n"
+      "                  [--jobs N] [--json PATH] [--trace-dir DIR]\n"
+      "                  [--label TEXT]\n");
+  return kExitUsage;
+}
+
+bool fuFromSlug(const std::string& slug, circuits::FuKind* out) {
+  for (const circuits::FuKind kind : circuits::kAllFus) {
+    if (slug == circuits::fuSlug(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> splitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_dir;
+  std::string cert_dir;
+  std::string json_path;
+  std::string trace_dir;
+  std::string label = "default";
+  std::vector<std::string> fu_slugs = {"int_add"};
+  dvfs::RunOptions options;
+  std::size_t jobs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tevot_dvfs: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--model-dir") {
+      if ((v = value()) == nullptr) return usage();
+      model_dir = v;
+    } else if (arg == "--cert-dir") {
+      if ((v = value()) == nullptr) return usage();
+      cert_dir = v;
+    } else if (arg == "--serve-port") {
+      if ((v = value()) == nullptr) return usage();
+      options.serve_port = static_cast<int>(std::atol(v));
+      if (options.serve_port <= 0 || options.serve_port > 65535) {
+        return usage();
+      }
+    } else if (arg == "--fus") {
+      if ((v = value()) == nullptr) return usage();
+      fu_slugs = splitList(v);
+      if (fu_slugs.empty()) return usage();
+    } else if (arg == "--all") {
+      fu_slugs.clear();
+      for (const circuits::FuKind kind : circuits::kAllFus) {
+        fu_slugs.emplace_back(circuits::fuSlug(kind));
+      }
+    } else if (arg == "--cycles") {
+      if ((v = value()) == nullptr) return usage();
+      options.stream.cycles = static_cast<std::size_t>(std::atoll(v));
+      if (options.stream.cycles < 2) return usage();
+    } else if (arg == "--window") {
+      if ((v = value()) == nullptr) return usage();
+      options.stream.window = static_cast<std::size_t>(std::atoll(v));
+      if (options.stream.window == 0) return usage();
+    } else if (arg == "--seed") {
+      if ((v = value()) == nullptr) return usage();
+      options.stream.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--guardband") {
+      if ((v = value()) == nullptr) return usage();
+      options.controller.guardband = std::atof(v);
+      if (options.controller.guardband < 0.0) return usage();
+    } else if (arg == "--hysteresis") {
+      if ((v = value()) == nullptr) return usage();
+      options.controller.hysteresis = std::atof(v);
+      if (options.controller.hysteresis < 0.0) return usage();
+    } else if (arg == "--escape-budget") {
+      if ((v = value()) == nullptr) return usage();
+      options.controller.escape_budget =
+          static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--deadline-ms") {
+      if ((v = value()) == nullptr) return usage();
+      options.deadline_ms = std::atof(v);
+      if (options.deadline_ms < 0.0) return usage();
+    } else if (arg == "--jobs") {
+      if ((v = value()) == nullptr) return usage();
+      jobs = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--json") {
+      if ((v = value()) == nullptr) return usage();
+      json_path = v;
+    } else if (arg == "--trace-dir") {
+      if ((v = value()) == nullptr) return usage();
+      trace_dir = v;
+    } else if (arg == "--label") {
+      if ((v = value()) == nullptr) return usage();
+      label = v;
+    } else {
+      std::fprintf(stderr, "tevot_dvfs: unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (cert_dir.empty()) {
+    std::fprintf(stderr, "tevot_dvfs: --cert-dir is required\n");
+    return usage();
+  }
+  if (model_dir.empty() && options.serve_port == 0) {
+    std::fprintf(stderr,
+                 "tevot_dvfs: need --model-dir (in-process) or "
+                 "--serve-port (live)\n");
+    return usage();
+  }
+
+  // Build the per-FU setups. Model-load failures in in-process mode
+  // and certificate problems both degrade to a per-FU refusal.
+  std::vector<dvfs::FuSetup> fus;
+  std::vector<std::unique_ptr<core::TevotModel>> models;
+  for (const std::string& slug : fu_slugs) {
+    dvfs::FuSetup setup;
+    if (!fuFromSlug(slug, &setup.kind)) {
+      std::fprintf(stderr, "tevot_dvfs: unknown fu '%s'\n", slug.c_str());
+      return usage();
+    }
+    setup.cert_status = verify::loadCertificateFile(
+        cert_dir + "/" + slug + ".cert.json", &setup.cert);
+    if (options.serve_port == 0) {
+      try {
+        models.push_back(std::make_unique<core::TevotModel>(
+            core::TevotModel::load(model_dir + "/" + slug + ".model")));
+        setup.model = models.back().get();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tevot_dvfs: %s: cannot load model: %s\n",
+                     slug.c_str(), e.what());
+        continue;
+      }
+    }
+    fus.push_back(std::move(setup));
+  }
+  if (fus.empty()) {
+    std::fprintf(stderr, "tevot_dvfs: no usable FU\n");
+    return kExitRuntime;
+  }
+
+  util::ThreadPool pool(jobs);
+  dvfs::RunReport run;
+  try {
+    run = dvfs::runDvfs(fus, options, pool);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tevot_dvfs: %s\n", e.what());
+    return kExitRuntime;
+  }
+
+  std::uint64_t escapes = 0;
+  std::size_t ran = 0;
+  for (const dvfs::DvfsReport& report : run.fus) {
+    if (!report.status.ok()) {
+      std::printf("tevot_dvfs: %s: refused adaptive mode: %s\n",
+                  report.fu.c_str(), report.status.message.c_str());
+      continue;
+    }
+    ++ran;
+    escapes += report.escapes;
+    std::printf(
+        "tevot_dvfs: %s: %zu windows (%zu adaptive, %zu fallback) "
+        "gain %.3fx viol=%llu recovered=%llu escapes=%llu\n",
+        report.fu.c_str(), report.windows, report.adaptive_windows,
+        report.fallback_windows, report.gain(),
+        static_cast<unsigned long long>(report.violations),
+        static_cast<unsigned long long>(report.recovered),
+        static_cast<unsigned long long>(report.escapes));
+    if (!trace_dir.empty()) {
+      const std::string path = trace_dir + "/" + report.fu + ".trace";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "tevot_dvfs: cannot write %s\n", path.c_str());
+        return kExitRuntime;
+      }
+      out << report.trace;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "tevot_dvfs: cannot write %s\n",
+                   json_path.c_str());
+      return kExitRuntime;
+    }
+    out << run.toJson(label) << "\n";
+    std::fprintf(stderr, "tevot_dvfs: wrote %s\n", json_path.c_str());
+  }
+
+  if (ran == 0) {
+    std::fprintf(stderr, "tevot_dvfs: no FU ran adaptively\n");
+    return kExitRuntime;
+  }
+  if (escapes > 0) {
+    std::fprintf(stderr,
+                 "tevot_dvfs: %llu unrecovered violation(s) escaped "
+                 "recovery\n",
+                 static_cast<unsigned long long>(escapes));
+    return kExitEscapes;
+  }
+  return kExitOk;
+}

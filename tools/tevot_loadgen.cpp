@@ -16,13 +16,19 @@
 // elsewhere in CI.
 //
 // Exit codes: 0 storm completed (server answers, however degraded,
-// are data, not failures), 1 nothing was ever answered, 2 usage error.
+// are data, not failures), 1 nothing was ever answered, 2 usage
+// error, 130 interrupted. SIGINT/SIGTERM stop the storm
+// cooperatively: in-flight requests finish, the partial report is
+// still printed — and flushed to --json with "interrupted": 1 — so a
+// cut-short run leaves valid, classified data instead of nothing.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 
 #include "fleet/loadgen.hpp"
+#include "util/signal.hpp"
 
 namespace {
 
@@ -108,6 +114,9 @@ int main(int argc, char** argv) {
   }
   if (options.port == 0) return usage();
 
+  util::SignalFlag signals({SIGINT, SIGTERM});
+  options.stop = [&signals] { return signals.raised(); };
+
   std::fprintf(stderr,
                "tevot_loadgen: %s storm, %.0f qps x %.1fs over %d "
                "connections (seed %llu)\n",
@@ -115,7 +124,8 @@ int main(int argc, char** argv) {
                options.duration_s, options.connections,
                static_cast<unsigned long long>(options.seed));
   const fleet::LoadgenReport report = fleet::runLoadgen(options);
-  std::printf("tevot_loadgen: %s\n", report.summaryLine().c_str());
+  std::printf("tevot_loadgen: %s%s\n", report.summaryLine().c_str(),
+              report.interrupted ? " (interrupted)" : "");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -125,9 +135,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << report.toJson(label, options);
+    out.flush();
     std::fprintf(stderr, "tevot_loadgen: wrote %s\n", json_path.c_str());
   }
 
+  if (report.interrupted) {
+    std::fprintf(stderr, "tevot_loadgen: interrupted by signal %d\n",
+                 signals.lastSignal());
+    return 130;  // 128 + SIGINT, shell convention
+  }
   if (report.responsesReceived() == 0) {
     std::fprintf(stderr, "tevot_loadgen: no responses at all\n");
     return 1;
